@@ -1,0 +1,79 @@
+//! Criterion benches for end-to-end AQP vs exact execution: the headline
+//! speedup measurement, with the error target as the sweep parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqp_core::{ErrorSpec, OfflineStore, OnlineAqp, OnlineConfig};
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::Catalog;
+use aqp_workload::skewed_table;
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    c.register(skewed_table("t", 1_000_000, 50, 1.0, 512, 3))
+        .unwrap();
+    c
+}
+
+fn bench_exact_vs_aqp(c: &mut Criterion) {
+    let catalog = catalog();
+    let plan = Query::scan("t")
+        .filter(col("sel").lt(lit(0.3)))
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    let mut g = c.benchmark_group("aqp/sum_filter_1m");
+    g.sample_size(10);
+    g.bench_function("exact", |b| b.iter(|| execute(&plan, &catalog).unwrap()));
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    for eps in [0.10f64, 0.05, 0.02] {
+        let spec = ErrorSpec::new(eps, 0.95);
+        g.bench_with_input(
+            BenchmarkId::new("online", format!("eps={eps}")),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    aqp.answer_plan(&plan, spec, seed).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_group_by_paths(c: &mut Criterion) {
+    let catalog = catalog();
+    let plan = Query::scan("t")
+        .aggregate(
+            vec![(col("g"), "g".to_string())],
+            vec![AggExpr::sum(col("v"), "s")],
+        )
+        .build();
+    let mut g = c.benchmark_group("aqp/group_by_1m");
+    g.sample_size(10);
+    g.bench_function("exact", |b| b.iter(|| execute(&plan, &catalog).unwrap()));
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let spec = ErrorSpec::new(0.1, 0.9);
+    g.bench_function("online", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            aqp.answer_plan(&plan, &spec, seed).unwrap()
+        })
+    });
+    // Offline: the build is amortized; the per-query cost is the draw.
+    let store = OfflineStore::new();
+    store
+        .build_stratified(&catalog, "t", "g", 20_000, 7)
+        .unwrap();
+    let q = aqp_core::AggQuery::from_plan(&plan).unwrap();
+    g.bench_function("offline_synopsis", |b| {
+        b.iter(|| store.answer(&q, &spec).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_aqp, bench_group_by_paths);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the exact engine: the baseline whose cost every
+//! AQP speedup in this repository is measured against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::Catalog;
+use aqp_workload::{build_star_schema, uniform_table, StarScale};
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    c.register(uniform_table("t", 500_000, 1024, 1)).unwrap();
+    build_star_schema(&c, &StarScale::tiny(), 2).unwrap();
+    c
+}
+
+fn bench_scan_aggregate(c: &mut Criterion) {
+    let catalog = catalog();
+    let mut g = c.benchmark_group("engine/scan_aggregate");
+    for selectivity in [1.0f64, 0.1, 0.001] {
+        let plan = Query::scan("t")
+            .filter(col("sel").lt(lit(selectivity)))
+            .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+            .build();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("sel={selectivity}")),
+            &plan,
+            |b, plan| b.iter(|| execute(plan, &catalog).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let catalog = catalog();
+    // Group cardinality via id % k.
+    let mut g = c.benchmark_group("engine/group_by");
+    for k in [10i64, 1_000, 100_000] {
+        let plan = Query::scan("t")
+            .aggregate(
+                vec![(col("id").modulo(lit(k)), "g".to_string())],
+                vec![AggExpr::count_star("n"), AggExpr::avg(col("v"), "a")],
+            )
+            .build();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &plan, |b, plan| {
+            b.iter(|| execute(plan, &catalog).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let catalog = catalog();
+    let plan = Query::scan("lineitem")
+        .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+        .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+        .build();
+    c.bench_function("engine/fk_join_aggregate", |b| {
+        b.iter(|| execute(&plan, &catalog).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scan_aggregate,
+    bench_group_by,
+    bench_hash_join
+);
+criterion_main!(benches);

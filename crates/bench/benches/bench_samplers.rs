@@ -1,0 +1,82 @@
+//! Criterion benches for the sampler zoo: the system-efficiency half of
+//! NSB's sampler comparison (block sampling's advantage is that its cost
+//! tracks the rate; every row-visiting design pays the full scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqp_sampling::{
+    bernoulli_blocks, bernoulli_rows, block_srs, distinct_sample, reservoir_rows,
+    stratified_sample, universe_sample, Allocation,
+};
+use aqp_storage::Table;
+use aqp_workload::skewed_table;
+
+fn table() -> Table {
+    skewed_table("t", 500_000, 100, 1.0, 1024, 1)
+}
+
+fn bench_rate_designs(c: &mut Criterion) {
+    let t = table();
+    let mut g = c.benchmark_group("samplers/rate_designs");
+    for rate in [0.001f64, 0.01, 0.1] {
+        g.bench_with_input(BenchmarkId::new("bernoulli_rows", rate), &rate, |b, &r| {
+            b.iter(|| bernoulli_rows(&t, r, 7))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("bernoulli_blocks", rate),
+            &rate,
+            |b, &r| b.iter(|| bernoulli_blocks(&t, r, 7)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fixed_size_designs(c: &mut Criterion) {
+    let t = table();
+    let mut g = c.benchmark_group("samplers/fixed_size");
+    g.bench_function("reservoir_10k_rows", |b| {
+        b.iter(|| reservoir_rows(&t, 10_000, 7))
+    });
+    g.bench_function("block_srs_10_blocks", |b| b.iter(|| block_srs(&t, 10, 7)));
+    g.finish();
+}
+
+fn bench_structured_designs(c: &mut Criterion) {
+    let t = table();
+    let mut g = c.benchmark_group("samplers/structured");
+    g.sample_size(20);
+    g.bench_function("stratified_congressional_10k", |b| {
+        b.iter(|| {
+            stratified_sample(&t, "g", &Allocation::Congressional { budget: 10_000 }, 7).unwrap()
+        })
+    });
+    g.bench_function("universe_1pct", |b| {
+        b.iter(|| universe_sample(&t, "g", 0.01, 7).unwrap())
+    });
+    g.bench_function("distinct_cap4_1pct", |b| {
+        b.iter(|| distinct_sample(&t, &["g"], 4, 0.01, 7).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let t = table();
+    let sample = bernoulli_blocks(&t, 0.05, 3);
+    let mut g = c.benchmark_group("samplers/estimation");
+    g.bench_function("estimate_sum_block_design", |b| {
+        b.iter(|| sample.estimate_sum("v").unwrap())
+    });
+    g.bench_function("estimate_avg_block_design", |b| {
+        b.iter(|| sample.estimate_avg("v").unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rate_designs,
+    bench_fixed_size_designs,
+    bench_structured_designs,
+    bench_estimation
+);
+criterion_main!(benches);

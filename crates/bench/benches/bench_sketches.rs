@@ -1,0 +1,120 @@
+//! Criterion benches for the synopsis zoo: insert and query throughput —
+//! the "constant work per tuple, constant space" economics that make
+//! sketches deployable where samples are not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use aqp_sketch::{
+    BloomFilter, CountMinSketch, CountSketch, EquiDepthHistogram, GkQuantiles, HyperLogLog,
+    KmvSketch, WaveletSynopsis,
+};
+
+const N: usize = 100_000;
+
+fn stream() -> Vec<u64> {
+    (0..N as u64).map(|i| (i * i) % 10_007).collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let items = stream();
+    let mut g = c.benchmark_group("sketches/insert_100k");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("count_min_w1024_d4", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(1024, 4, 1);
+            for &x in &items {
+                cm.insert_hashed(aqp_sketch::hash::mix64(x), 1);
+            }
+            cm
+        })
+    });
+    g.bench_function("count_sketch_w1024_d5", |b| {
+        b.iter(|| {
+            let mut cs = CountSketch::new(1024, 5, 1);
+            for &x in &items {
+                cs.insert_hashed(aqp_sketch::hash::mix64(x), 1);
+            }
+            cs
+        })
+    });
+    g.bench_function("hll_p12", |b| {
+        b.iter(|| {
+            let mut h = HyperLogLog::new(12);
+            for &x in &items {
+                h.insert_hashed(aqp_sketch::hash::mix64(x));
+            }
+            h
+        })
+    });
+    g.bench_function("kmv_k1024", |b| {
+        b.iter(|| {
+            let mut k = KmvSketch::new(1024);
+            for &x in &items {
+                k.insert_hashed(aqp_sketch::hash::mix64(x));
+            }
+            k
+        })
+    });
+    g.bench_function("gk_eps_0.01", |b| {
+        b.iter(|| {
+            let mut gk = GkQuantiles::new(0.01);
+            for &x in &items {
+                gk.insert(x as f64);
+            }
+            gk
+        })
+    });
+    g.bench_function("bloom_1pct_fp", |b| {
+        b.iter(|| {
+            let mut bf = BloomFilter::with_rate(N, 0.01, 1);
+            for &x in &items {
+                bf.insert(&x.to_le_bytes());
+            }
+            bf
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let items = stream();
+    let values: Vec<f64> = items.iter().map(|&x| x as f64).collect();
+    let mut cm = CountMinSketch::new(1024, 4, 1);
+    let mut hll = HyperLogLog::new(12);
+    let mut gk = GkQuantiles::new(0.01);
+    for &x in &items {
+        cm.insert_hashed(aqp_sketch::hash::mix64(x), 1);
+        hll.insert_hashed(aqp_sketch::hash::mix64(x));
+        gk.insert(x as f64);
+    }
+    let ed = EquiDepthHistogram::build(&values, 256);
+    let mut g = c.benchmark_group("sketches/query");
+    g.bench_function("count_min_point", |b| {
+        b.iter(|| cm.estimate_hashed(aqp_sketch::hash::mix64(4242)))
+    });
+    g.bench_function("hll_estimate", |b| b.iter(|| hll.estimate()));
+    g.bench_function("gk_median", |b| b.iter(|| gk.median()));
+    g.bench_function("equi_depth_range_sum", |b| {
+        b.iter(|| ed.range_sum(100.0, 5_000.0))
+    });
+    g.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let values: Vec<f64> = stream().iter().map(|&x| x as f64).collect();
+    let mut g = c.benchmark_group("sketches/build");
+    g.sample_size(20);
+    for k in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("equi_depth", k), &k, |b, &k| {
+            b.iter(|| EquiDepthHistogram::build(&values, k))
+        });
+    }
+    g.bench_function("wavelet_4096_keep_256", |b| {
+        let bucketed: Vec<f64> = values.iter().take(4096).copied().collect();
+        b.iter(|| WaveletSynopsis::build(&bucketed, 256))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_queries, bench_builds);
+criterion_main!(benches);

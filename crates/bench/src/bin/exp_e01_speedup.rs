@@ -1,0 +1,100 @@
+//! E1 — *Sampling yields speedups proportional to the sampled fraction;
+//! block sampling beats row sampling at equal rates for scan-bound
+//! queries* (NSB §2.2).
+//!
+//! Workload: AVG(v) with a 50% predicate over a 2M-row table in 1024-row
+//! blocks. For sampling rates 0.01%–10%, measure the wall time and rows
+//! touched to (a) draw the sample and (b) answer the query from it, for
+//! row-level vs block-level Bernoulli sampling, against the exact scan.
+
+use aqp_bench::{fmt_duration, timed_median, TablePrinter};
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_sampling::{bernoulli_blocks, bernoulli_rows};
+use aqp_storage::Catalog;
+use aqp_workload::uniform_table;
+
+fn main() {
+    const ROWS: usize = 2_000_000;
+    println!(
+        "E1: sampling speedup, row vs block ({} rows, 1024-row blocks)\n",
+        ROWS
+    );
+    let table = uniform_table("t", ROWS, 1024, 42);
+    let catalog = Catalog::new();
+    catalog.register(table.clone()).unwrap();
+
+    // Exact baseline.
+    let plan = Query::scan("t")
+        .filter(col("sel").lt(lit(0.5)))
+        .aggregate(vec![], vec![AggExpr::avg(col("v"), "a")])
+        .build();
+    let (exact, exact_wall) = timed_median(3, || execute(&plan, &catalog).unwrap());
+    let truth = exact.rows()[0][0].as_f64().unwrap();
+    println!(
+        "exact: AVG = {truth:.3}, {} rows scanned, {}\n",
+        exact.stats().rows_scanned,
+        fmt_duration(exact_wall)
+    );
+
+    let p = TablePrinter::new(
+        &[
+            "rate",
+            "method",
+            "rows touched",
+            "wall",
+            "speedup",
+            "rel.err %",
+        ],
+        &[8, 10, 14, 10, 9, 10],
+    );
+    for &rate in &[0.0001, 0.001, 0.01, 0.05, 0.1] {
+        let vi = table.schema().index_of("v").unwrap();
+        let si = table.schema().index_of("sel").unwrap();
+        // Estimate AVG(v) WHERE sel < 0.5 (matching the exact query).
+        let filtered_avg = |s: &aqp_sampling::Sample| {
+            s.estimate_avg_with(
+                &mut |b, i| b.column(vi).f64_at(i).unwrap_or(0.0),
+                &mut |b, i| {
+                    if b.column(si).f64_at(i).unwrap_or(1.0) < 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            )
+        };
+        // Row-level: must visit every row to flip its coin.
+        let ((est_r, rows_r), wall_r) = timed_median(3, || {
+            let s = bernoulli_rows(&table, rate, 7);
+            (filtered_avg(&s), s.num_rows()) // includes estimation cost
+        });
+        // Block-level: touches only the selected blocks.
+        let ((est_b, rows_b), wall_b) = timed_median(3, || {
+            let s = bernoulli_blocks(&table, rate, 7);
+            (filtered_avg(&s), s.num_rows())
+        });
+        let _ = rows_r;
+        for (method, est, rows, wall) in [
+            ("rows", est_r, ROWS, wall_r), // row sampling reads everything
+            ("blocks", est_b, rows_b, wall_b),
+        ] {
+            p.row(&[
+                format!("{:.2}%", rate * 100.0),
+                method.to_string(),
+                rows.to_string(),
+                fmt_duration(wall),
+                format!(
+                    "{:.1}x",
+                    exact_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+                ),
+                format!("{:.3}", 100.0 * est.relative_error(truth)),
+            ]);
+        }
+    }
+    println!(
+        "\nClaim check: block sampling's cost tracks the rate (skipped blocks \
+         are never touched);\nrow sampling's cost is flat at ~the full scan — \
+         its 'speedup' is CPU-only."
+    );
+}

@@ -1,0 +1,122 @@
+//! E3 — *Uniform samples miss small groups; stratified / congressional /
+//! distinct sampling fixes it* (NSB §3).
+//!
+//! Workload: tables whose group sizes follow Zipf(s) for s ∈ {0, 1, 1.5}
+//! over 200 groups. Each sampler gets the same ~2% row budget; we report
+//! the fraction of groups present in the sample and the worst per-group
+//! relative error of the estimated group COUNT among covered groups.
+
+use std::collections::HashMap;
+
+use aqp_bench::TablePrinter;
+use aqp_sampling::{bernoulli_rows, distinct_sample, stratified_sample, Allocation, Sample};
+use aqp_storage::Table;
+use aqp_workload::skewed_table;
+
+const GROUPS: usize = 200;
+const ROWS: usize = 100_000;
+const BUDGET: usize = 2_000; // ~2%
+
+fn group_counts(table: &Table) -> HashMap<i64, f64> {
+    let mut counts = HashMap::new();
+    for g in table.column_f64("g").unwrap() {
+        *counts.entry(g as i64).or_insert(0.0) += 1.0;
+    }
+    counts
+}
+
+/// (coverage fraction, worst rel-err of estimated counts over covered groups)
+fn evaluate(sample: &Sample, truth: &HashMap<i64, f64>) -> (f64, f64) {
+    let gi = sample.table.schema().index_of("g").unwrap();
+    let mut present: HashMap<i64, ()> = HashMap::new();
+    for g in sample.table.column_f64("g").unwrap() {
+        present.insert(g as i64, ());
+    }
+    let coverage = present.len() as f64 / truth.len() as f64;
+    let mut worst = 0.0f64;
+    for (&g, &true_n) in truth {
+        if !present.contains_key(&g) {
+            continue;
+        }
+        let est = sample.estimate_count_with(&mut |b, i| {
+            if b.column(gi).f64_at(i) == Some(g as f64) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        worst = worst.max((est.value - true_n).abs() / true_n);
+    }
+    (coverage, worst)
+}
+
+fn main() {
+    println!(
+        "E3: group coverage at equal budget ({BUDGET} of {ROWS} rows, {GROUPS} Zipf groups)\n"
+    );
+    let p = TablePrinter::new(
+        &[
+            "zipf s",
+            "sampler",
+            "groups covered",
+            "worst rel.err (covered)",
+        ],
+        &[7, 24, 15, 24],
+    );
+    for &s_exp in &[0.0, 1.0, 1.5] {
+        let table = skewed_table("t", ROWS, GROUPS, s_exp, 256, 3);
+        let truth = group_counts(&table);
+        // Show how skewed the ground truth is.
+        let min_group = truth.values().copied().fold(f64::INFINITY, f64::min);
+        let max_group = truth.values().copied().fold(0.0, f64::max);
+
+        let samplers: Vec<(&str, Sample)> = vec![
+            (
+                "uniform rows",
+                bernoulli_rows(&table, BUDGET as f64 / ROWS as f64, 11),
+            ),
+            (
+                "stratified proportional",
+                stratified_sample(
+                    &table,
+                    "g",
+                    &Allocation::Proportional { budget: BUDGET },
+                    11,
+                )
+                .unwrap(),
+            ),
+            (
+                "stratified congressional",
+                stratified_sample(
+                    &table,
+                    "g",
+                    &Allocation::Congressional { budget: BUDGET },
+                    11,
+                )
+                .unwrap(),
+            ),
+            (
+                "distinct (cap 4)",
+                distinct_sample(&table, &["g"], 4, BUDGET as f64 / ROWS as f64, 11).unwrap(),
+            ),
+        ];
+        for (name, sample) in &samplers {
+            let (coverage, worst) = evaluate(sample, &truth);
+            p.row(&[
+                format!("{s_exp}"),
+                name.to_string(),
+                format!("{:.1}%", coverage * 100.0),
+                format!("{:.1}%", worst * 100.0),
+            ]);
+        }
+        println!(
+            "  (true group sizes: min {min_group:.0}, max {max_group:.0}, present {})",
+            truth.len()
+        );
+    }
+    println!(
+        "\nClaim check: under skew (s ≥ 1) uniform sampling loses groups while \
+         congressional and distinct\nsampling keep 100% coverage — the missing-\
+         groups problem and its classical fixes."
+    );
+}

@@ -1,0 +1,140 @@
+//! E4 — *A join of independent uniform samples is not a uniform sample of
+//! the join: the match rate collapses to p² and the estimator's variance
+//! explodes. Universe sampling on the join key restores rate-p behaviour*
+//! (NSB §3; Chaudhuri–Motwani–Narasayya).
+//!
+//! Workload: a many-to-many join R(500k rows, 20k keys) ⋈ S(100k rows,
+//! 20k keys), estimating the join's COUNT from samples of both tables at
+//! rate p = 5%, across 200 seeds. Strategies:
+//! * independent Bernoulli row samples of R and S, estimate scaled 1/p²;
+//! * **universe** samples of R and S with a shared salt, scaled 1/p
+//!   (keys survive jointly);
+//! * sample-of-join: Bernoulli sample of the materialized join, 1/p —
+//!   the unattainable gold standard (it requires computing the join).
+
+use aqp_bench::TablePrinter;
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::col;
+use aqp_sampling::{bernoulli_rows, universe_sample};
+use aqp_sketch::CountMinSketch;
+use aqp_stats::Moments;
+use aqp_storage::{Catalog, DataType, Field, Schema, Table, TableBuilder, Value};
+use aqp_workload::Zipf;
+
+fn keyed_table(name: &str, rows: usize, keys: usize, zipf_s: f64, seed: u64) -> Table {
+    let mut z = Zipf::new(keys, zipf_s, seed);
+    let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+    let mut b = TableBuilder::with_block_capacity(name, schema, 512);
+    for _ in 0..rows {
+        b.push_row(&[Value::Int64(z.sample() as i64)]).unwrap();
+    }
+    b.finish()
+}
+
+fn join_count(catalog: &Catalog, left: &str, right: &str) -> f64 {
+    let plan = Query::scan(left)
+        .join(Query::scan(right), col("k"), col("k"))
+        .aggregate(vec![], vec![AggExpr::count_star("n")])
+        .build();
+    execute(&plan, catalog).unwrap().rows()[0][0]
+        .as_f64()
+        .unwrap()
+}
+
+fn main() {
+    const P: f64 = 0.05;
+    const SEEDS: u64 = 200;
+    println!("E4: estimating |R ⋈ S| from samples at rate p = {P} ({SEEDS} seeds)\n");
+    let r = keyed_table("r", 500_000, 20_000, 0.6, 1);
+    let s = keyed_table("s", 100_000, 20_000, 0.6, 2);
+    let catalog = Catalog::new();
+    catalog.register(r.clone()).unwrap();
+    catalog.register(s.clone()).unwrap();
+    let truth = join_count(&catalog, "r", "s");
+    println!("exact |R ⋈ S| = {truth}\n");
+
+    let mut indep = Moments::new();
+    let mut universe = Moments::new();
+    let mut of_join = Moments::new();
+    // A fourth contender from the synopsis family: Count-Min sketches of
+    // both key columns; the row-wise inner product upper-bounds the join
+    // size (one pass per table, constant space, no sampling at all).
+    let mut cm_est = Moments::new();
+    for seed in 0..10u64 {
+        let mut cm_r = CountMinSketch::new(8192, 5, seed);
+        let mut cm_s = CountMinSketch::new(8192, 5, seed);
+        for k in r.column_f64("k").unwrap() {
+            cm_r.insert(&(k as i64).to_le_bytes(), 1);
+        }
+        for k in s.column_f64("k").unwrap() {
+            cm_s.insert(&(k as i64).to_le_bytes(), 1);
+        }
+        cm_est.push(cm_r.inner_product(&cm_s) as f64);
+    }
+    // Materialize the join once for the sample-of-join gold standard.
+    let join_plan = Query::scan("r")
+        .join(Query::scan("s"), col("k"), col("k"))
+        .build();
+    let joined = execute(&join_plan, &catalog).unwrap();
+    let joined_rows = joined.num_rows();
+
+    for seed in 0..SEEDS {
+        // Strategy 1: independent Bernoulli samples, scale 1/p².
+        let sr = bernoulli_rows(&r, P, seed * 3 + 1);
+        let ss = bernoulli_rows(&s, P, seed * 3 + 2);
+        let tmp = Catalog::new();
+        let (rn, sn) = (sr.table.name().to_string(), ss.table.name().to_string());
+        tmp.register(sr.table).unwrap();
+        tmp.register(ss.table).unwrap();
+        indep.push(join_count(&tmp, &rn, &sn) / (P * P));
+
+        // Strategy 2: universe samples with a shared salt, scale 1/p.
+        let ur = universe_sample(&r, "k", P, seed).unwrap();
+        let us = universe_sample(&s, "k", P, seed).unwrap();
+        let tmp = Catalog::new();
+        let (rn, sn) = (ur.table.name().to_string(), us.table.name().to_string());
+        tmp.register(ur.table).unwrap();
+        tmp.register(us.table).unwrap();
+        universe.push(join_count(&tmp, &rn, &sn) / P);
+
+        // Strategy 3: Bernoulli sample of the materialized join, scale 1/p.
+        let mut rng_hit = 0usize;
+        {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xABCD);
+            for _ in 0..joined_rows {
+                if rng.gen::<f64>() < P {
+                    rng_hit += 1;
+                }
+            }
+        }
+        of_join.push(rng_hit as f64 / P);
+    }
+
+    let p = TablePrinter::new(
+        &["strategy", "mean estimate", "bias %", "rel std-dev %"],
+        &[22, 14, 9, 14],
+    );
+    for (name, m) in [
+        ("independent p², 1/p²", &indep),
+        ("universe shared salt", &universe),
+        ("sample-of-join (gold)", &of_join),
+        ("CM sketch (320KiB)", &cm_est),
+    ] {
+        p.row(&[
+            name.to_string(),
+            format!("{:.0}", m.mean()),
+            format!("{:+.2}", 100.0 * (m.mean() - truth) / truth),
+            format!("{:.2}", 100.0 * m.std_dev() / truth),
+        ]);
+    }
+    println!(
+        "\nClaim check: the samplers are (nearly) unbiased, but the independent-\
+         samples estimator's\nspread is an order of magnitude above universe \
+         sampling, which tracks the sample-of-join\ngold standard — you cannot \
+         sample both sides of a join independently and win. The CM\nsketch is \
+         the synopsis-family answer: a deterministic one-sided upper bound \
+         (stable, biased\nhigh, within its (e/w)·N₁·N₂ guarantee) — useful for \
+         planning, not for answering."
+    );
+}

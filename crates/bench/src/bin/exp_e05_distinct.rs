@@ -1,0 +1,62 @@
+//! E5 — *Sampling cannot estimate COUNT DISTINCT; dedicated sketches can*
+//! (NSB §2.1).
+//!
+//! Workload: 1M-row streams whose true distinct cardinality ranges from
+//! 10² to 10⁶ (Zipf-weighted occurrences). Estimators: a 1% uniform
+//! sample with the two textbook (and both wrong) scale-ups, vs HLL and
+//! KMV sketches of a few KiB.
+
+use aqp_bench::TablePrinter;
+use aqp_sketch::{HyperLogLog, KmvSketch};
+use aqp_workload::Zipf;
+use std::collections::HashSet;
+
+fn main() {
+    const ROWS: usize = 1_000_000;
+    const SAMPLE_RATE: f64 = 0.01;
+    println!("E5: COUNT DISTINCT from a 1% sample vs sketches ({ROWS} rows)\n");
+    let p = TablePrinter::new(
+        &[
+            "true D",
+            "sample (no scale)",
+            "sample (1/q scale)",
+            "HLL p=12 (4KiB)",
+            "KMV k=1024 (8KiB)",
+        ],
+        &[9, 18, 19, 16, 18],
+    );
+    for &domain in &[100usize, 10_000, 100_000, 1_000_000] {
+        let mut zipf = Zipf::new(domain, 0.9, 7);
+        let mut hll = HyperLogLog::new(12);
+        let mut kmv = KmvSketch::new(1024);
+        let mut sample_distinct: HashSet<usize> = HashSet::new();
+        let mut truth: HashSet<usize> = HashSet::new();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        for _ in 0..ROWS {
+            let item = zipf.sample();
+            truth.insert(item);
+            let h = aqp_sketch::hash::hash_bytes(&item.to_le_bytes());
+            hll.insert_hashed(h);
+            kmv.insert_hashed(h);
+            if rng.gen::<f64>() < SAMPLE_RATE {
+                sample_distinct.insert(item);
+            }
+        }
+        let d = truth.len() as f64;
+        let err = |est: f64| format!("{:.0} ({:+.0}%)", est, 100.0 * (est - d) / d);
+        p.row(&[
+            format!("{}", truth.len()),
+            err(sample_distinct.len() as f64),
+            err(sample_distinct.len() as f64 / SAMPLE_RATE),
+            err(hll.estimate()),
+            err(kmv.estimate()),
+        ]);
+    }
+    println!(
+        "\nClaim check: neither sample scale-up is right anywhere — the raw \
+         count underestimates when\nduplicates are rare, the 1/q scale-up \
+         overestimates when they are common — while the\nconstant-space \
+         sketches stay within a few percent across four orders of magnitude."
+    );
+}

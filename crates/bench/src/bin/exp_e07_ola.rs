@@ -1,0 +1,96 @@
+//! E7 — *Online aggregation converges as 1/√n with a live interval, but
+//! full accuracy requires touching everything; ripple joins converge more
+//! slowly* (NSB §2.2).
+//!
+//! Part A: progressive AVG over 1M skewed rows — CI width vs fraction
+//! processed, with the 1/√n reference curve.
+//! Part B: ripple-join SUM over lineitem ⋈ orders — error vs fraction
+//! consumed.
+
+use std::sync::Arc;
+
+use aqp_bench::TablePrinter;
+use aqp_core::{OnlineAggregator, RippleJoin};
+use aqp_storage::Catalog;
+use aqp_workload::{build_star_schema, skewed_table, StarScale};
+
+fn main() {
+    println!("E7a: online aggregation convergence (AVG over 1M skewed rows)\n");
+    let table = Arc::new(skewed_table("t", 1_000_000, 100, 1.0, 1024, 9));
+    let v = table.column_f64("v").unwrap();
+    let truth = v.iter().sum::<f64>() / v.len() as f64;
+
+    let mut ola = OnlineAggregator::new(Arc::clone(&table), "v", None, 4).unwrap();
+    let total_blocks = table.block_count();
+    let p = TablePrinter::new(
+        &[
+            "fraction",
+            "estimate",
+            "CI half-width %",
+            "1/sqrt(n) ref %",
+            "rel err %",
+        ],
+        &[9, 12, 16, 16, 10],
+    );
+    let mut first_width: Option<(f64, f64)> = None;
+    for &frac in &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
+        let target = ((total_blocks as f64 * frac) as usize).max(2);
+        while ola.blocks_processed() < target {
+            if !ola.step().unwrap() {
+                break;
+            }
+        }
+        let e = ola.estimate_avg();
+        let ci = e.ci(0.95);
+        let width_pct = 100.0 * ci.relative_half_width();
+        let reference = match first_width {
+            None => {
+                first_width = Some((frac, width_pct));
+                width_pct
+            }
+            Some((f0, w0)) => {
+                // 1/√n scaling with the fpc of sampling without replacement.
+                let fpc = |f: f64| ((1.0 - f).max(0.0)).sqrt();
+                w0 * (f0 / frac).sqrt() * fpc(frac) / fpc(f0)
+            }
+        };
+        p.row(&[
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.3}", e.value),
+            format!("{width_pct:.3}"),
+            format!("{reference:.3}"),
+            format!("{:.4}", 100.0 * e.relative_error(truth)),
+        ]);
+    }
+
+    println!("\nE7b: ripple join convergence (SUM(l_price) over lineitem ⋈ orders)\n");
+    let catalog = Catalog::new();
+    build_star_schema(&catalog, &StarScale::small(), 5).unwrap();
+    let lineitem = catalog.get("lineitem").unwrap();
+    let orders = catalog.get("orders").unwrap();
+    let truth: f64 = lineitem.column_f64("l_price").unwrap().iter().sum();
+    let mut rj = RippleJoin::new(&lineitem, "l_orderkey", "l_price", &orders, "o_key", 21).unwrap();
+    let p = TablePrinter::new(
+        &["progress L", "progress R", "estimate", "rel err %"],
+        &[10, 10, 16, 10],
+    );
+    loop {
+        let advanced = rj.step(10_000);
+        let (pl, pr) = rj.progress();
+        p.row(&[
+            format!("{:.0}%", pl * 100.0),
+            format!("{:.0}%", pr * 100.0),
+            format!("{:.0}", rj.estimate_sum()),
+            format!("{:.3}", 100.0 * (rj.estimate_sum() - truth).abs() / truth),
+        ]);
+        if !advanced {
+            break;
+        }
+    }
+    println!(
+        "\nClaim check: the single-table CI tracks the 1/√n reference and \
+         collapses to zero only at\n100% — OLA's speedup is the user's \
+         willingness to stop early. The ripple join needs a far\nlarger \
+         fraction for the same error: join sampling is harder, per CMN99."
+    );
+}

@@ -1,0 +1,96 @@
+//! E9 — *Very selective predicates defeat uniform sampling: at fixed rate
+//! the relative error explodes as selectivity → 0* (NSB §3).
+//!
+//! Workload: COUNT(*) WHERE sel < σ over 2M rows, σ from 10⁻¹ down to
+//! 10⁻⁶, estimated from a fixed 1% Bernoulli row sample (30 seeds). Then
+//! the same queries go through the a-priori planner, which *declines* to
+//! sample once the contract cannot be met — the correct behaviour.
+
+use aqp_bench::TablePrinter;
+use aqp_core::{ErrorSpec, ExecutionPath, OnlineAqp, OnlineConfig};
+use aqp_engine::{AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_sampling::bernoulli_rows;
+use aqp_stats::Moments;
+use aqp_storage::Catalog;
+use aqp_workload::uniform_table;
+
+fn main() {
+    const ROWS: usize = 2_000_000;
+    const RATE: f64 = 0.01;
+    const SEEDS: u64 = 30;
+    println!("E9: selectivity vs error at a fixed 1% sample ({ROWS} rows, {SEEDS} seeds)\n");
+    let table = uniform_table("t", ROWS, 1024, 17);
+    let catalog = Catalog::new();
+    catalog.register(table.clone()).unwrap();
+    let si = table.schema().index_of("sel").unwrap();
+    let sel_col = table.column_f64("sel").unwrap();
+
+    let p = TablePrinter::new(
+        &[
+            "selectivity",
+            "true count",
+            "mean rel err %",
+            "sd of estimate %",
+            "planner verdict",
+        ],
+        &[12, 11, 15, 17, 17],
+    );
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    for &sigma in &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
+        let truth = sel_col.iter().filter(|&&x| x < sigma).count() as f64;
+        let mut errs = Moments::new();
+        let mut ests = Moments::new();
+        for seed in 0..SEEDS {
+            let s = bernoulli_rows(&table, RATE, seed);
+            let est = s.estimate_count_with(&mut |b, i| {
+                if b.column(si).f64_at(i).unwrap_or(1.0) < sigma {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            ests.push(est.value);
+            if truth > 0.0 {
+                errs.push((est.value - truth).abs() / truth);
+            }
+        }
+        // What does the contract-honoring planner do?
+        let plan = Query::scan("t")
+            .filter(col("sel").lt(lit(sigma)))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        let verdict = match aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.05, 0.95), 3)
+            .unwrap()
+            .report
+            .path
+        {
+            ExecutionPath::OnlineBlockSample { final_rate, .. } => {
+                format!("sample @ {final_rate:.3}")
+            }
+            ExecutionPath::Exact => "declined → exact".to_string(),
+            other => format!("{other:?}"),
+        };
+        p.row(&[
+            format!("{sigma:.0e}"),
+            format!("{truth:.0}"),
+            format!("{:.1}", 100.0 * errs.mean()),
+            format!(
+                "{:.1}",
+                if truth > 0.0 {
+                    100.0 * ests.std_dev() / truth
+                } else {
+                    f64::NAN
+                }
+            ),
+            verdict,
+        ]);
+    }
+    println!(
+        "\nClaim check: at 10⁻¹ the 1% sample is excellent; by 10⁻⁴ the \
+         sample holds a couple of\nmatching rows and the error is tens of \
+         percent; below that, whole runs see zero matches.\nThe a-priori \
+         planner turns the same cliff into an explicit 'declined → exact'."
+    );
+}

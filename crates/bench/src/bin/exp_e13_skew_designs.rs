@@ -1,0 +1,128 @@
+//! E13 (extension) — the classical fixes for the two hard data layouts:
+//! **outlier indexing** for heavy-tailed measures and **bi-level
+//! sampling** for block-clustered data, both at equal row budget against
+//! the plain designs they repair.
+//!
+//! These are the §3/§6 "what the field did about it" techniques NSB
+//! points to (Chaudhuri et al. 2001; Haas & König 2004).
+
+use aqp_bench::TablePrinter;
+use aqp_sampling::{bernoulli_blocks, bernoulli_rows, bilevel_sample, build_outlier_index};
+use aqp_stats::Moments;
+use aqp_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pareto(α≈1.3) measures: the SUM is dominated by a handful of rows.
+fn heavy_tailed(n: usize, seed: u64) -> Table {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]);
+    let mut b = TableBuilder::with_block_capacity("t", schema, 512);
+    for _ in 0..n {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        b.push_row(&[Value::Float64(u.powf(-1.0 / 1.3))]).unwrap();
+    }
+    b.finish()
+}
+
+/// Block-clustered values: rows within a block are nearly identical.
+fn clustered(blocks: usize, per_block: usize) -> Table {
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]);
+    let mut b = TableBuilder::with_block_capacity("t", schema, per_block);
+    for j in 0..blocks {
+        for i in 0..per_block {
+            b.push_row(&[Value::Float64(
+                (j % 97) as f64 * 10.0 + (i % 3) as f64 * 0.01,
+            )])
+            .unwrap();
+        }
+    }
+    b.finish()
+}
+
+fn spread_over_seeds(estimates: &mut dyn FnMut(u64) -> f64, truth: f64) -> (f64, f64) {
+    let mut m = Moments::new();
+    for seed in 0..150 {
+        m.push(estimates(seed));
+    }
+    (
+        100.0 * (m.mean() - truth).abs() / truth,
+        100.0 * m.std_dev() / truth,
+    )
+}
+
+fn main() {
+    println!("E13a: heavy-tailed SUM at ~5% row budget (150 seeds)\n");
+    let t = heavy_tailed(400_000, 3);
+    let truth: f64 = t.column_f64("v").unwrap().iter().sum();
+    let p = TablePrinter::new(&["design", "|bias| %", "rel std-dev %"], &[34, 9, 14]);
+    let (bias, sd) = spread_over_seeds(
+        &mut |seed| {
+            bernoulli_rows(&t, 0.05, seed)
+                .estimate_sum("v")
+                .unwrap()
+                .value
+        },
+        truth,
+    );
+    p.row(&[
+        "uniform rows 5%".into(),
+        format!("{bias:.2}"),
+        format!("{sd:.2}"),
+    ]);
+    let (bias, sd) = spread_over_seeds(
+        &mut |seed| {
+            build_outlier_index(&t, "v", 0.01, 0.04, seed)
+                .unwrap()
+                .estimate_sum()
+                .unwrap()
+                .value
+        },
+        truth,
+    );
+    p.row(&[
+        "outlier index 1% exact + 4% sample".into(),
+        format!("{bias:.2}"),
+        format!("{sd:.2}"),
+    ]);
+
+    println!("\nE13b: block-clustered SUM at ~5% row budget (150 seeds)\n");
+    let t = clustered(2_000, 200);
+    let truth: f64 = t.column_f64("v").unwrap().iter().sum();
+    let p = TablePrinter::new(&["design", "|bias| %", "rel std-dev %"], &[34, 9, 14]);
+    let (bias, sd) = spread_over_seeds(
+        &mut |seed| {
+            bernoulli_blocks(&t, 0.05, seed)
+                .estimate_sum("v")
+                .unwrap()
+                .value
+        },
+        truth,
+    );
+    p.row(&[
+        "pure block 5%".into(),
+        format!("{bias:.2}"),
+        format!("{sd:.2}"),
+    ]);
+    let (bias, sd) = spread_over_seeds(
+        &mut |seed| {
+            bilevel_sample(&t, 0.25, 0.2, seed)
+                .estimate_sum("v")
+                .unwrap()
+                .value
+        },
+        truth,
+    );
+    p.row(&[
+        "bi-level 25% blocks x 20% rows".into(),
+        format!("{bias:.2}"),
+        format!("{sd:.2}"),
+    ]);
+    println!(
+        "\nClaim check: at equal row budgets, the outlier index collapses the \
+         heavy-tail variance\n(the extremes are exact, the remainder is tame), \
+         and bi-level sampling beats pure block\nsampling on clustered data by \
+         spreading the same rows over more blocks — each fix targets\nexactly \
+         the failure mode its data layout causes."
+    );
+}

@@ -1,0 +1,242 @@
+//! Approximate answers: per-group estimates with intervals, plus an
+//! execution report stating how the answer was produced and what it cost.
+
+use std::time::Duration;
+
+use aqp_stats::{ConfidenceInterval, Estimate};
+use aqp_storage::Value;
+
+/// How an answer was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionPath {
+    /// Exact execution (AQP declined or was not asked).
+    Exact,
+    /// Two-phase online block sampling: a pilot at `pilot_rate` planned a
+    /// final pass at `final_rate`.
+    OnlineBlockSample {
+        /// Pilot sampling rate.
+        pilot_rate: f64,
+        /// Final sampling rate chosen by the planner.
+        final_rate: f64,
+    },
+    /// Answered from a pre-built offline synopsis.
+    OfflineSynopsis {
+        /// Synopsis kind, e.g. "stratified-sample", "hll".
+        kind: String,
+    },
+}
+
+/// Cost accounting for one answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// How the answer was produced.
+    pub path: ExecutionPath,
+    /// Rows in the (fact) population.
+    pub population_rows: u64,
+    /// Base-table rows actually touched (pilot + final for online AQP).
+    pub rows_touched: u64,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+impl ExecutionReport {
+    /// Fraction of the population touched — the scale-free speedup proxy
+    /// (touching 1% of blocks ≈ 100× less I/O).
+    pub fn touched_fraction(&self) -> f64 {
+        if self.population_rows == 0 {
+            0.0
+        } else {
+            self.rows_touched as f64 / self.population_rows as f64
+        }
+    }
+}
+
+/// One group's estimates (one per aggregate, in query order).
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// The group key values (empty for a global aggregate).
+    pub key: Vec<Value>,
+    /// Point estimates with variances.
+    pub estimates: Vec<Estimate>,
+    /// Confidence intervals at the spec's (adjusted) confidence.
+    pub intervals: Vec<ConfidenceInterval>,
+}
+
+/// A complete approximate answer.
+#[derive(Debug, Clone)]
+pub struct ApproximateAnswer {
+    /// Group-by column names (empty for global aggregates).
+    pub group_by: Vec<String>,
+    /// Aggregate aliases, in query order.
+    pub aggregates: Vec<String>,
+    /// Per-group results, sorted by key for determinism.
+    pub groups: Vec<GroupResult>,
+    /// How and at what cost the answer was produced.
+    pub report: ExecutionReport,
+}
+
+impl ApproximateAnswer {
+    /// Looks up a group by key.
+    pub fn group(&self, key: &[Value]) -> Option<&GroupResult> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+
+    /// The single group of a global aggregate.
+    ///
+    /// # Panics
+    /// Panics if the answer has grouping.
+    pub fn global(&self) -> &GroupResult {
+        assert!(
+            self.group_by.is_empty(),
+            "global() requires an ungrouped answer"
+        );
+        &self.groups[0]
+    }
+
+    /// The estimate of aggregate `alias` in the global group.
+    pub fn scalar_estimate(&self, alias: &str) -> Option<&Estimate> {
+        let idx = self.aggregates.iter().position(|a| a == alias)?;
+        Some(&self.global().estimates[idx])
+    }
+
+    /// Worst observed relative half-width across all groups and
+    /// aggregates — what the user compares against the spec.
+    pub fn max_relative_half_width(&self) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.intervals.iter())
+            .map(ConfidenceInterval::relative_half_width)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer() -> ApproximateAnswer {
+        let est = Estimate::new(100.0, 4.0, 1000);
+        ApproximateAnswer {
+            group_by: vec!["g".into()],
+            aggregates: vec!["s".into()],
+            groups: vec![
+                GroupResult {
+                    key: vec![Value::str("a")],
+                    estimates: vec![est],
+                    intervals: vec![est.ci(0.95)],
+                },
+                GroupResult {
+                    key: vec![Value::str("b")],
+                    estimates: vec![Estimate::new(10.0, 1.0, 50)],
+                    intervals: vec![Estimate::new(10.0, 1.0, 50).ci(0.95)],
+                },
+            ],
+            report: ExecutionReport {
+                path: ExecutionPath::OnlineBlockSample {
+                    pilot_rate: 0.01,
+                    final_rate: 0.05,
+                },
+                population_rows: 1_000_000,
+                rows_touched: 60_000,
+                wall: Duration::from_millis(12),
+            },
+        }
+    }
+
+    #[test]
+    fn group_lookup() {
+        let a = answer();
+        assert!(a.group(&[Value::str("a")]).is_some());
+        assert!(a.group(&[Value::str("zzz")]).is_none());
+    }
+
+    #[test]
+    fn touched_fraction() {
+        let a = answer();
+        assert!((a.report.touched_fraction() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_relative_half_width_is_worst_case() {
+        let a = answer();
+        // Group b has rel half-width ~0.2·t, far worse than group a's.
+        assert!(a.max_relative_half_width() > 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "ungrouped")]
+    fn global_requires_no_grouping() {
+        answer().global();
+    }
+
+    #[test]
+    fn scalar_estimate_on_global() {
+        let est = Estimate::new(5.0, 1.0, 10);
+        let a = ApproximateAnswer {
+            group_by: vec![],
+            aggregates: vec!["n".into()],
+            groups: vec![GroupResult {
+                key: vec![],
+                estimates: vec![est],
+                intervals: vec![est.ci(0.9)],
+            }],
+            report: ExecutionReport {
+                path: ExecutionPath::Exact,
+                population_rows: 10,
+                rows_touched: 10,
+                wall: Duration::ZERO,
+            },
+        };
+        assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
+        assert!(a.scalar_estimate("zzz").is_none());
+    }
+}
+
+/// Deterministic total order over group keys (NULL < bool < numeric <
+/// string, then by value) — used to sort answer groups.
+pub fn cmp_group_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int64(_) | Value::Float64(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+    for (x, y) in a.iter().zip(b) {
+        let ord = match rank(x).cmp(&rank(y)) {
+            Ordering::Equal => x.sql_cmp(y).unwrap_or(Ordering::Equal),
+            other => other,
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod key_order_tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_rank_then_value() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_group_keys(&[Value::Null], &[Value::Int64(0)]), Less);
+        assert_eq!(
+            cmp_group_keys(&[Value::Int64(2)], &[Value::Float64(10.0)]),
+            Less
+        );
+        assert_eq!(cmp_group_keys(&[Value::Int64(5)], &[Value::str("a")]), Less);
+        assert_eq!(
+            cmp_group_keys(&[Value::str("b")], &[Value::str("a")]),
+            Greater
+        );
+        assert_eq!(
+            cmp_group_keys(&[Value::str("a"), Value::Int64(1)], &[Value::str("a")]),
+            Greater
+        );
+        assert_eq!(cmp_group_keys(&[], &[]), Equal);
+    }
+}

@@ -1,0 +1,324 @@
+//! Row-at-a-time evaluation of a star [`AggQuery`] against *sampled* fact
+//! blocks.
+//!
+//! The statistical machinery needs per-fact-block group totals (blocks are
+//! the sampling units), but a relational join repacks rows and destroys
+//! block boundaries. The evaluator avoids that by never materializing the
+//! join: dimension tables are pre-indexed by key, and each fact row is
+//! evaluated in place — FK lookups resolve dimension columns, the
+//! predicate runs over the virtual joined row, and the contribution is
+//! attributed to the row's group *and* its fact block.
+//!
+//! This per-row FK lookup is exactly why `sample(fact) ⋈ dim` is
+//! statistically identical to `sample(fact ⋈ dim)` for foreign-key joins
+//! (each fact row joins to at most one dimension row, so sampling commutes
+//! with the join) — the one join shape NSB notes *is* safe to sample one
+//! side of.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aqp_engine::agg::KeyAtom;
+use aqp_expr::eval::eval_row;
+use aqp_storage::{Block, Catalog, Table, Value};
+
+use crate::aggquery::{AggQuery, LinearAgg};
+use crate::error::AqpError;
+
+/// A fact row's contribution: its group key and, per aggregate, the
+/// `(numerator, denominator)` pair fed to the HT estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowContribution {
+    /// Group key values (empty for a global aggregate).
+    pub group: Vec<Value>,
+    /// Per aggregate: `(f, g)` — SUM uses `(x, 0)`, COUNT `(1, 0)`,
+    /// AVG `(x, 1)` with NULL measures contributing `(0, 0)`.
+    pub per_agg: Vec<(f64, f64)>,
+}
+
+struct DimLookup {
+    table: Arc<Table>,
+    fact_key_idx: usize,
+    /// dim key → (block, row) within the dim table.
+    index: HashMap<KeyAtom, (u32, u32)>,
+}
+
+/// Evaluates a star query one fact row at a time.
+pub struct StarEvaluator {
+    query: AggQuery,
+    fact: Arc<Table>,
+    dims: Vec<DimLookup>,
+}
+
+impl StarEvaluator {
+    /// Builds the evaluator: loads the fact table handle and hash-indexes
+    /// every dimension by its join key.
+    ///
+    /// Errors if a dimension key is duplicated (the FK assumption the
+    /// commuting argument rests on) or any referenced table/column is
+    /// missing.
+    pub fn new(catalog: &Catalog, query: &AggQuery) -> Result<Self, AqpError> {
+        let fact = catalog.get(&query.fact_table)?;
+        let mut dims = Vec::with_capacity(query.joins.len());
+        for j in &query.joins {
+            let table = catalog.get(&j.dim_table)?;
+            let fact_key_idx = fact.schema().index_of(&j.fact_key)?;
+            let key_idx = table.schema().index_of(&j.dim_key)?;
+            let mut index = HashMap::with_capacity(table.row_count());
+            for (bi, block) in table.iter_blocks() {
+                let keys = block.column(key_idx);
+                for ri in 0..block.len() {
+                    let v = keys.get(ri);
+                    if v.is_null() {
+                        continue;
+                    }
+                    if index
+                        .insert(KeyAtom::from_value(&v), (bi as u32, ri as u32))
+                        .is_some()
+                    {
+                        return Err(AqpError::Unsupported {
+                            detail: format!(
+                                "dimension {} has duplicate key {v} in {}; \
+                                 sampling one side of a many-to-many join is unsound",
+                                j.dim_table, j.dim_key
+                            ),
+                        });
+                    }
+                }
+            }
+            dims.push(DimLookup {
+                table,
+                fact_key_idx,
+                index,
+            });
+        }
+        Ok(Self {
+            query: query.clone(),
+            fact,
+            dims,
+        })
+    }
+
+    /// The fact table.
+    pub fn fact(&self) -> &Arc<Table> {
+        &self.fact
+    }
+
+    /// The query being evaluated.
+    pub fn query(&self) -> &AggQuery {
+        &self.query
+    }
+
+    /// Evaluates one fact row (from a sampled block). Returns `None` when
+    /// the row contributes nothing: a join missed or the predicate did not
+    /// pass.
+    pub fn eval_row(&self, block: &Block, row: usize) -> Result<Option<RowContribution>, AqpError> {
+        // Resolve dimension rows through the FK indexes.
+        let mut dim_rows: Vec<(usize, usize)> = Vec::with_capacity(self.dims.len());
+        for d in &self.dims {
+            let fk = block.column(d.fact_key_idx).get(row);
+            if fk.is_null() {
+                return Ok(None);
+            }
+            match d.index.get(&KeyAtom::from_value(&fk)) {
+                Some(&(bi, ri)) => dim_rows.push((bi as usize, ri as usize)),
+                None => return Ok(None), // inner join: no match, no row
+            }
+        }
+        // Virtual-row resolver: fact columns first, then dimensions in
+        // join order.
+        let resolver = |name: &str| -> Option<Value> {
+            if let Ok(col) = block.column_by_name(name) {
+                return Some(col.get(row));
+            }
+            for (d, &(bi, ri)) in self.dims.iter().zip(&dim_rows) {
+                if let Ok(col) = d.table.block(bi).column_by_name(name) {
+                    return Some(col.get(ri));
+                }
+            }
+            None
+        };
+        if let Some(p) = &self.query.predicate {
+            match eval_row(p, &resolver)? {
+                Value::Bool(true) => {}
+                _ => return Ok(None), // FALSE or NULL: filtered out
+            }
+        }
+        let group = self
+            .query
+            .group_by
+            .iter()
+            .map(|(e, _)| eval_row(e, &resolver))
+            .collect::<Result<Vec<_>, _>>()?;
+        let per_agg = self
+            .query
+            .aggregates
+            .iter()
+            .map(|a| -> Result<(f64, f64), AqpError> {
+                Ok(match a.kind {
+                    LinearAgg::CountStar => (1.0, 0.0),
+                    LinearAgg::Sum => {
+                        let v = eval_row(&a.expr, &resolver)?;
+                        (v.as_f64().unwrap_or(0.0), 0.0)
+                    }
+                    LinearAgg::Avg => {
+                        let v = eval_row(&a.expr, &resolver)?;
+                        match v.as_f64() {
+                            Some(x) => (x, 1.0),
+                            None => (0.0, 0.0),
+                        }
+                    }
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Some(RowContribution { group, per_agg }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggquery::AggSpec;
+    use aqp_expr::{col, lit};
+    use aqp_storage::{DataType, Field, Schema, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("fk", DataType::Int64),
+            Field::new("x", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("fact", schema, 4);
+        for i in 0..10i64 {
+            b.push_row(&[Value::Int64(i % 4), Value::Float64(i as f64)])
+                .unwrap();
+        }
+        // One fact row with a dangling FK.
+        b.push_row(&[Value::Int64(99), Value::Float64(100.0)])
+            .unwrap();
+        c.register(b.finish()).unwrap();
+
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("label", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("dim", schema, 2);
+        for i in 0..4i64 {
+            b.push_row(&[Value::Int64(i), Value::str(if i < 2 { "lo" } else { "hi" })])
+                .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+        c
+    }
+
+    fn query(predicate: Option<aqp_expr::Expr>) -> AggQuery {
+        AggQuery {
+            fact_table: "fact".into(),
+            joins: vec![crate::aggquery::JoinSpec {
+                dim_table: "dim".into(),
+                fact_key: "fk".into(),
+                dim_key: "k".into(),
+            }],
+            predicate,
+            group_by: vec![(col("label"), "label".into())],
+            aggregates: vec![
+                AggSpec {
+                    kind: LinearAgg::Sum,
+                    expr: col("x"),
+                    alias: "s".into(),
+                },
+                AggSpec {
+                    kind: LinearAgg::CountStar,
+                    expr: lit(1i64),
+                    alias: "n".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn joins_and_groups_resolve() {
+        let c = catalog();
+        let ev = StarEvaluator::new(&c, &query(None)).unwrap();
+        let fact = ev.fact().clone();
+        // Row 0: fk 0 → label "lo".
+        let contrib = ev.eval_row(fact.block(0), 0).unwrap().unwrap();
+        assert_eq!(contrib.group, vec![Value::str("lo")]);
+        assert_eq!(contrib.per_agg, vec![(0.0, 0.0), (1.0, 0.0)]);
+        // Row 2: fk 2 → "hi", x = 2.
+        let contrib = ev.eval_row(fact.block(0), 2).unwrap().unwrap();
+        assert_eq!(contrib.group, vec![Value::str("hi")]);
+        assert_eq!(contrib.per_agg[0], (2.0, 0.0));
+    }
+
+    #[test]
+    fn dangling_fk_drops_row() {
+        let c = catalog();
+        let ev = StarEvaluator::new(&c, &query(None)).unwrap();
+        let fact = ev.fact().clone();
+        // Row 10 (block 2, offset 2) has fk 99.
+        let (bi, ri) = fact.locate_row(10);
+        assert!(ev.eval_row(fact.block(bi), ri).unwrap().is_none());
+    }
+
+    #[test]
+    fn predicate_on_dim_column() {
+        let c = catalog();
+        let ev = StarEvaluator::new(&c, &query(Some(col("label").eq(lit("hi"))))).unwrap();
+        let fact = ev.fact().clone();
+        // fk 0 → "lo": filtered.
+        assert!(ev.eval_row(fact.block(0), 0).unwrap().is_none());
+        // fk 2 → "hi": passes.
+        assert!(ev.eval_row(fact.block(0), 2).unwrap().is_some());
+    }
+
+    #[test]
+    fn predicate_on_fact_column() {
+        let c = catalog();
+        let ev = StarEvaluator::new(&c, &query(Some(col("x").gt_eq(lit(5.0))))).unwrap();
+        let fact = ev.fact().clone();
+        assert!(ev.eval_row(fact.block(0), 0).unwrap().is_none());
+        let (bi, ri) = fact.locate_row(5);
+        assert!(ev.eval_row(fact.block(bi), ri).unwrap().is_some());
+    }
+
+    #[test]
+    fn duplicate_dim_keys_rejected() {
+        let c = catalog();
+        let schema = Schema::new(vec![Field::new("k", DataType::Int64)]);
+        let mut b = TableBuilder::new("baddim", schema);
+        b.push_row(&[Value::Int64(1)]).unwrap();
+        b.push_row(&[Value::Int64(1)]).unwrap();
+        c.register(b.finish()).unwrap();
+        let mut q = query(None);
+        q.joins[0].dim_table = "baddim".into();
+        q.joins[0].dim_key = "k".into();
+        assert!(matches!(
+            StarEvaluator::new(&c, &q),
+            Err(AqpError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn avg_contribution_pairs() {
+        let c = catalog();
+        let mut q = query(None);
+        q.aggregates = vec![AggSpec {
+            kind: LinearAgg::Avg,
+            expr: col("x"),
+            alias: "a".into(),
+        }];
+        let ev = StarEvaluator::new(&c, &q).unwrap();
+        let fact = ev.fact().clone();
+        let contrib = ev.eval_row(fact.block(0), 3).unwrap().unwrap();
+        assert_eq!(contrib.per_agg, vec![(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let c = catalog();
+        let mut q = query(None);
+        q.fact_table = "zzz".into();
+        assert!(StarEvaluator::new(&c, &q).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! `aqp-core` — the synthesis of *Approximate Query Processing: No Silver
+//! Bullet* (SIGMOD 2017) as a working system.
+//!
+//! The survey maps AQP along three axes — query **generality**, **error**
+//! guarantees, and **performance** — and shows every technique trades one
+//! for another. This crate implements every family the paper covers, on a
+//! shared substrate (`aqp-engine` for exact execution, `aqp-sampling` and
+//! `aqp-sketch` for the approximators, `aqp-stats` for the guarantees):
+//!
+//! * [`spec`] — the user-facing accuracy contract ([`ErrorSpec`]).
+//! * [`aggquery`] — the normalized star-aggregation form the planners
+//!   reason about, with plan interception ([`AggQuery::from_plan`]).
+//! * [`online`] — **query-time sampling**: pilot-planned two-phase block
+//!   sampling with a-priori guarantees and exact fallback
+//!   ([`OnlineAqp`]).
+//! * [`offline`] — **pre-computed synopses**: stratified samples, distinct
+//!   and quantile sketches, with staleness tracking ([`OfflineStore`]).
+//! * [`ola`] — **online aggregation**: progressive estimates with live
+//!   intervals, plus ripple joins.
+//! * [`answer`] — approximate answers with per-group intervals and cost
+//!   accounting.
+//! * [`rewrite`] — VerdictDB-style middleware: the same queries answered
+//!   by rewriting over a weighted sample and running the *unmodified*
+//!   exact engine ([`rewrite::answer_via_rewrite`]).
+//! * [`taxonomy`] — the paper's technique-vs-property matrix, generated
+//!   from the implementation ([`taxonomy::capability_matrix`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use aqp_core::{ErrorSpec, OnlineAqp, OnlineConfig};
+//! use aqp_engine::{AggExpr, Query};
+//! use aqp_expr::{col, lit};
+//! use aqp_storage::Catalog;
+//! use aqp_workload::uniform_table;
+//!
+//! let catalog = Catalog::new();
+//! catalog.register(uniform_table("t", 100_000, 1024, 7)).unwrap();
+//!
+//! let plan = Query::scan("t")
+//!     .filter(col("sel").lt(lit(0.5)))
+//!     .aggregate(vec![], vec![AggExpr::sum(col("v"), "total")])
+//!     .build();
+//!
+//! let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+//! let answer = aqp
+//!     .answer_plan(&plan, &ErrorSpec::new(0.05, 0.95), 42)
+//!     .unwrap();
+//! let est = answer.scalar_estimate("total").unwrap();
+//! assert!(est.value > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aggquery;
+pub mod answer;
+pub mod error;
+pub mod evaluator;
+pub mod offline;
+pub mod ola;
+pub mod online;
+pub mod rewrite;
+pub mod spec;
+pub mod taxonomy;
+
+pub use aggquery::{AggQuery, AggSpec, JoinSpec, LinearAgg};
+pub use answer::{ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult};
+pub use error::AqpError;
+pub use offline::OfflineStore;
+pub use ola::{OnlineAggregator, RippleJoin};
+pub use online::{OnlineAqp, OnlineConfig};
+pub use spec::ErrorSpec;

@@ -1,0 +1,486 @@
+//! Pre-computed (offline) AQP: a synopsis store with staleness tracking.
+//!
+//! NSB's *pre-computed* camp buys its speed by committing ahead of time: a
+//! stratified sample keyed on an anticipated column set, per-column
+//! sketches for distinct counts and quantiles. At query time nothing but
+//! the synopsis is touched — the fastest possible path — but two failure
+//! modes come with it, both made measurable here:
+//!
+//! * **workload drift** — a query grouping by a column the sample was not
+//!   stratified on gets no per-group guarantee (small groups may be absent
+//!   entirely);
+//! * **data staleness** — the base table moves on while the synopsis
+//!   stands still; [`OfflineStore::staleness`] quantifies the divergence
+//!   and E8 measures the bias it causes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use aqp_engine::agg::KeyAtom;
+use aqp_sampling::{stratified_sample, Allocation, Sample};
+use aqp_sketch::{GkQuantiles, HyperLogLog};
+use aqp_stats::Estimate;
+use aqp_storage::{Catalog, Value};
+
+use crate::aggquery::{AggQuery, LinearAgg};
+use crate::answer::{
+    cmp_group_keys, ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult,
+};
+use crate::error::AqpError;
+use crate::spec::ErrorSpec;
+
+/// A stored stratified-sample synopsis.
+pub struct StratifiedSynopsis {
+    /// The sample (rows + design + weights).
+    pub sample: Sample,
+    /// The column it was stratified on.
+    pub column: String,
+    /// Base-table row count at build time.
+    pub built_on_rows: u64,
+}
+
+/// A per-column distinct-count synopsis.
+pub struct DistinctSynopsis {
+    /// The HLL sketch.
+    pub hll: HyperLogLog,
+    /// Base-table row count at build time.
+    pub built_on_rows: u64,
+}
+
+/// A per-column quantile synopsis.
+pub struct QuantileSynopsis {
+    /// The GK summary.
+    pub gk: GkQuantiles,
+    /// Base-table row count at build time.
+    pub built_on_rows: u64,
+}
+
+/// The offline synopsis store.
+#[derive(Default)]
+pub struct OfflineStore {
+    stratified: RwLock<HashMap<String, StratifiedSynopsis>>,
+    distinct: RwLock<HashMap<(String, String), DistinctSynopsis>>,
+    quantiles: RwLock<HashMap<(String, String), QuantileSynopsis>>,
+}
+
+impl OfflineStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds (or rebuilds) a stratified sample for `table`, stratified on
+    /// `column` with congressional allocation of `budget` rows. This is
+    /// the expensive offline step: it scans the whole table.
+    pub fn build_stratified(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        column: &str,
+        budget: usize,
+        seed: u64,
+    ) -> Result<(), AqpError> {
+        let t = catalog.get(table)?;
+        let sample = stratified_sample(&t, column, &Allocation::Congressional { budget }, seed)?;
+        self.stratified.write().insert(
+            table.to_string(),
+            StratifiedSynopsis {
+                sample,
+                column: column.to_string(),
+                built_on_rows: t.row_count() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Builds a distinct-count synopsis for `(table, column)`.
+    pub fn build_distinct(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        column: &str,
+        precision: u8,
+    ) -> Result<(), AqpError> {
+        let t = catalog.get(table)?;
+        let idx = t.schema().index_of(column)?;
+        let mut hll = HyperLogLog::new(precision);
+        for (_, block) in t.iter_blocks() {
+            let col = block.column(idx);
+            for i in 0..col.len() {
+                if !col.is_null(i) {
+                    hll.insert_hashed(aqp_expr::stable_hash64(&col.get(i)));
+                }
+            }
+        }
+        self.distinct.write().insert(
+            (table.to_string(), column.to_string()),
+            DistinctSynopsis {
+                hll,
+                built_on_rows: t.row_count() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Builds a quantile synopsis for `(table, column)`.
+    pub fn build_quantiles(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        column: &str,
+        eps: f64,
+    ) -> Result<(), AqpError> {
+        let t = catalog.get(table)?;
+        let idx = t.schema().index_of(column)?;
+        let mut gk = GkQuantiles::new(eps);
+        for (_, block) in t.iter_blocks() {
+            let col = block.column(idx);
+            for i in 0..col.len() {
+                if let Some(v) = col.f64_at(i) {
+                    gk.insert(v);
+                }
+            }
+        }
+        self.quantiles.write().insert(
+            (table.to_string(), column.to_string()),
+            QuantileSynopsis {
+                gk,
+                built_on_rows: t.row_count() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Relative divergence between the base table's current row count and
+    /// the row count the stratified synopsis was built on. Zero = fresh.
+    pub fn staleness(&self, catalog: &Catalog, table: &str) -> Result<f64, AqpError> {
+        let current = catalog.get(table)?.row_count() as f64;
+        let store = self.stratified.read();
+        let syn = store.get(table).ok_or_else(|| AqpError::Unsupported {
+            detail: format!("no stratified synopsis for {table}"),
+        })?;
+        let built = syn.built_on_rows as f64;
+        Ok((current - built).abs() / built.max(1.0))
+    }
+
+    /// Approximate `COUNT(DISTINCT column)` from the HLL synopsis.
+    pub fn approx_count_distinct(&self, table: &str, column: &str) -> Option<f64> {
+        self.distinct
+            .read()
+            .get(&(table.to_string(), column.to_string()))
+            .map(|s| s.hll.estimate())
+    }
+
+    /// Approximate `phi`-quantile from the GK synopsis.
+    pub fn approx_quantile(&self, table: &str, column: &str, phi: f64) -> Option<f64> {
+        self.quantiles
+            .read()
+            .get(&(table.to_string(), column.to_string()))
+            .and_then(|s| s.gk.query(phi))
+    }
+
+    /// Answers a single-table star query from the stratified synopsis,
+    /// touching **no base data**. Returns `Unsupported` when the query
+    /// joins (offline samples of one table cannot serve ad-hoc joins — one
+    /// of NSB's generality limits) or no synopsis exists.
+    ///
+    /// The answer is *statistically valid for the stratification column*;
+    /// for drifted group-bys the estimates are still HT-consistent but
+    /// groups too small to appear in the sample are silently missing — the
+    /// failure mode E8 measures.
+    pub fn answer(
+        &self,
+        query: &AggQuery,
+        spec: &ErrorSpec,
+    ) -> Result<ApproximateAnswer, AqpError> {
+        let start = Instant::now();
+        if !query.joins.is_empty() {
+            return Err(AqpError::Unsupported {
+                detail: "offline synopsis cannot serve join queries".to_string(),
+            });
+        }
+        let store = self.stratified.read();
+        let syn = store
+            .get(&query.fact_table)
+            .ok_or_else(|| AqpError::Unsupported {
+                detail: format!("no stratified synopsis for {}", query.fact_table),
+            })?;
+        let sample = &syn.sample;
+
+        // Precompute per-row contributions, indexed by block pointer + row.
+        let mut base_of_block: HashMap<usize, usize> = HashMap::new();
+        let mut base = 0usize;
+        for (bi, block) in sample.table.iter_blocks() {
+            base_of_block.insert(bi, base);
+            let _ = block;
+            base += sample.table.block(bi).len();
+        }
+        // Row-major: (group atoms, key values, per-agg (f,g)); None when
+        // filtered out.
+        type RowInfo = (Vec<KeyAtom>, Vec<Value>, Vec<(f64, f64)>);
+        let mut rows: Vec<Option<RowInfo>> = Vec::with_capacity(sample.num_rows());
+        for (_, block) in sample.table.iter_blocks() {
+            for ri in 0..block.len() {
+                let resolver = |name: &str| -> Option<Value> {
+                    block.column_by_name(name).ok().map(|c| c.get(ri))
+                };
+                let passes = match &query.predicate {
+                    None => true,
+                    Some(p) => matches!(aqp_expr::eval::eval_row(p, &resolver)?, Value::Bool(true)),
+                };
+                if !passes {
+                    rows.push(None);
+                    continue;
+                }
+                let key_vals: Vec<Value> = query
+                    .group_by
+                    .iter()
+                    .map(|(e, _)| aqp_expr::eval::eval_row(e, &resolver))
+                    .collect::<Result<_, _>>()?;
+                let atoms: Vec<KeyAtom> = key_vals.iter().map(KeyAtom::from_value).collect();
+                let per_agg: Vec<(f64, f64)> = query
+                    .aggregates
+                    .iter()
+                    .map(|a| -> Result<(f64, f64), AqpError> {
+                        Ok(match a.kind {
+                            LinearAgg::CountStar => (1.0, 0.0),
+                            LinearAgg::Sum => {
+                                let v = aqp_expr::eval::eval_row(&a.expr, &resolver)?;
+                                (v.as_f64().unwrap_or(0.0), 0.0)
+                            }
+                            LinearAgg::Avg => {
+                                let v = aqp_expr::eval::eval_row(&a.expr, &resolver)?;
+                                match v.as_f64() {
+                                    Some(x) => (x, 1.0),
+                                    None => (0.0, 0.0),
+                                }
+                            }
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                rows.push(Some((atoms, key_vals, per_agg)));
+            }
+        }
+
+        // Distinct groups present in the sample.
+        let mut group_keys: HashMap<Vec<KeyAtom>, Vec<Value>> = HashMap::new();
+        for r in rows.iter().flatten() {
+            group_keys.entry(r.0.clone()).or_insert_with(|| r.1.clone());
+        }
+        let num_estimates = (group_keys.len() * query.aggregates.len()).max(1);
+        let conf = spec.split_across(num_estimates).confidence;
+
+        // Block pointer → base row id, so design closures can find the
+        // precomputed contribution of (block, row).
+        let block_base: HashMap<*const aqp_storage::Block, usize> = sample
+            .table
+            .iter_blocks()
+            .map(|(bi, b)| {
+                (
+                    std::sync::Arc::as_ptr(b),
+                    *base_of_block.get(&bi).expect("indexed above"),
+                )
+            })
+            .collect();
+
+        let mut groups: Vec<GroupResult> = Vec::with_capacity(group_keys.len());
+        for (atoms, key_vals) in group_keys {
+            let mut estimates = Vec::with_capacity(query.aggregates.len());
+            for (ai, agg) in query.aggregates.iter().enumerate() {
+                let value_of = |b: &aqp_storage::Block, i: usize| -> (f64, f64) {
+                    let base = block_base[&(b as *const aqp_storage::Block)];
+                    match &rows[base + i] {
+                        Some((g, _, per_agg)) if *g == atoms => per_agg[ai],
+                        _ => (0.0, 0.0),
+                    }
+                };
+                let est = match agg.kind {
+                    LinearAgg::CountStar | LinearAgg::Sum => {
+                        sample.estimate_sum_with(&mut |b, i| value_of(b, i).0)
+                    }
+                    LinearAgg::Avg => sample
+                        .estimate_avg_with(&mut |b, i| value_of(b, i).0, &mut |b, i| {
+                            value_of(b, i).1
+                        }),
+                };
+                estimates.push(est);
+            }
+            let intervals = estimates.iter().map(|e: &Estimate| e.ci(conf)).collect();
+            groups.push(GroupResult {
+                key: key_vals,
+                estimates,
+                intervals,
+            });
+        }
+        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
+
+        Ok(ApproximateAnswer {
+            group_by: query.group_by.iter().map(|(_, n)| n.clone()).collect(),
+            aggregates: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            groups,
+            report: ExecutionReport {
+                path: ExecutionPath::OfflineSynopsis {
+                    kind: format!("stratified[{}]", syn.column),
+                },
+                population_rows: syn.built_on_rows,
+                rows_touched: sample.num_rows() as u64,
+                wall: start.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggquery::{AggSpec, JoinSpec};
+    use aqp_engine::{execute, AggExpr, Query};
+    use aqp_expr::{col, lit};
+    use aqp_workload::skewed_table;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register(skewed_table("t", 50_000, 50, 1.1, 256, 3))
+            .unwrap();
+        c
+    }
+
+    fn sum_by_g() -> AggQuery {
+        AggQuery {
+            fact_table: "t".into(),
+            joins: vec![],
+            predicate: None,
+            group_by: vec![(col("g"), "g".into())],
+            aggregates: vec![AggSpec {
+                kind: LinearAgg::Sum,
+                expr: col("v"),
+                alias: "s".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn stratified_answer_covers_all_groups() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_stratified(&c, "t", "g", 5_000, 1).unwrap();
+        let ans = store
+            .answer(&sum_by_g(), &ErrorSpec::new(0.1, 0.9))
+            .unwrap();
+        // Exact group count.
+        let exact = execute(
+            &Query::scan("t")
+                .aggregate(
+                    vec![(col("g"), "g".to_string())],
+                    vec![AggExpr::sum(col("v"), "s")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(
+            ans.groups.len(),
+            exact.num_rows(),
+            "congressional stratification must cover every group"
+        );
+        // Big groups should be accurate.
+        let truth0 = exact.rows()[0][1].as_f64().unwrap();
+        let g0 = ans.group(&[Value::Int64(0)]).unwrap();
+        assert!(g0.estimates[0].relative_error(truth0) < 0.15);
+        // And it must touch only the synopsis.
+        assert!(ans.report.rows_touched <= 5_500);
+    }
+
+    #[test]
+    fn predicate_supported_on_synopsis() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_stratified(&c, "t", "g", 8_000, 2).unwrap();
+        let mut q = sum_by_g();
+        q.group_by = vec![];
+        q.predicate = Some(col("sel").lt(lit(0.5)));
+        let ans = store.answer(&q, &ErrorSpec::default()).unwrap();
+        let exact = execute(
+            &Query::scan("t")
+                .filter(col("sel").lt(lit(0.5)))
+                .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        let truth = exact.rows()[0][0].as_f64().unwrap();
+        let est = ans.scalar_estimate("s").unwrap();
+        assert!(
+            est.relative_error(truth) < 0.15,
+            "rel err {}",
+            est.relative_error(truth)
+        );
+    }
+
+    #[test]
+    fn joins_unsupported() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_stratified(&c, "t", "g", 1000, 1).unwrap();
+        let mut q = sum_by_g();
+        q.joins.push(JoinSpec {
+            dim_table: "d".into(),
+            fact_key: "g".into(),
+            dim_key: "k".into(),
+        });
+        assert!(matches!(
+            store.answer(&q, &ErrorSpec::default()),
+            Err(AqpError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_synopsis_is_unsupported() {
+        let store = OfflineStore::new();
+        assert!(matches!(
+            store.answer(&sum_by_g(), &ErrorSpec::default()),
+            Err(AqpError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn staleness_tracks_data_updates() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_stratified(&c, "t", "g", 1000, 1).unwrap();
+        assert_eq!(store.staleness(&c, "t").unwrap(), 0.0);
+        // Append 25% more data by replacing the table.
+        c.replace(skewed_table("t", 62_500, 50, 1.1, 256, 9));
+        let s = store.staleness(&c, "t").unwrap();
+        assert!((s - 0.25).abs() < 1e-9, "staleness {s}");
+    }
+
+    #[test]
+    fn distinct_synopsis() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_distinct(&c, "t", "g", 12).unwrap();
+        let est = store.approx_count_distinct("t", "g").unwrap();
+        assert!((est - 50.0).abs() < 5.0, "distinct estimate {est}");
+        assert!(store.approx_count_distinct("t", "nope").is_none());
+    }
+
+    #[test]
+    fn quantile_synopsis() {
+        let c = catalog();
+        let store = OfflineStore::new();
+        store.build_quantiles(&c, "t", "v", 0.01).unwrap();
+        let med = store.approx_quantile("t", "v", 0.5).unwrap();
+        // Ground-truth median.
+        let mut vs = c.get("t").unwrap().column_f64("v").unwrap();
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = vs[vs.len() / 2];
+        assert!(
+            (med - truth).abs() / truth < 0.1,
+            "median {med} vs truth {truth}"
+        );
+        assert!(store.approx_quantile("t", "nope", 0.5).is_none());
+    }
+}

@@ -1,0 +1,737 @@
+//! Query-time (online) AQP: pilot-planned two-phase block sampling.
+//!
+//! This module is the executable form of NSB's *query-time sampling* camp
+//! (Quickr's injected samplers, refined with the pilot-based a-priori
+//! planning that later systems adopted). The flow for a supported star
+//! aggregation query:
+//!
+//! 1. **Intercept** — [`AggQuery::from_plan`] recognizes the plan shape;
+//!    anything else runs exactly (generality has a boundary — NSB's point).
+//! 2. **Pilot** — a cheap block sample (default 1% of blocks) estimates,
+//!    per group and aggregate, the block-level totals and their spread.
+//! 3. **Plan** — from the pilot, the minimum Bernoulli block rate `q` that
+//!    meets the user's [`ErrorSpec`] is solved in
+//!    closed form, with a conservative inflation for pilot noise. If the
+//!    required rate exceeds `max_final_rate`, sampling would not pay off
+//!    and the query runs exactly — the planner *declines* rather than
+//!    miss the contract.
+//! 4. **Final** — an independent block sample at rate `q` produces the
+//!    per-group estimates and Boole-adjusted confidence intervals.
+//!
+//! Groups absent from the pilot are not covered by the contract (uniform
+//! samples miss small groups — experiment E3); the stratified/distinct
+//! samplers in `aqp-sampling` and the offline synopses exist precisely to
+//! fix that.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use aqp_engine::agg::KeyAtom;
+use aqp_engine::{execute, LogicalPlan};
+use aqp_sampling::bernoulli_blocks;
+use aqp_stats::Estimate;
+use aqp_storage::{Catalog, Value};
+
+use crate::aggquery::{AggQuery, LinearAgg};
+use crate::answer::{
+    cmp_group_keys, ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult,
+};
+use crate::error::AqpError;
+use crate::evaluator::StarEvaluator;
+use crate::spec::ErrorSpec;
+
+/// Tuning knobs for the online planner.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Block-sampling rate of the pilot phase.
+    pub pilot_rate: f64,
+    /// Beyond this final rate, sampling is judged not to pay off and the
+    /// query runs exactly.
+    pub max_final_rate: f64,
+    /// When the query has a GROUP BY, raise the pilot rate so that any
+    /// group with at least this many rows appears in the pilot with
+    /// probability ≥ 99% (Chernoff/union-bound planning via
+    /// [`aqp_stats::bounds::group_coverage_rate`]). `None` disables the
+    /// adjustment; groups smaller than the pilot happens to see stay
+    /// outside the contract either way.
+    pub min_covered_group_rows: Option<u64>,
+    /// Apply the conservative pilot-noise inflation when planning the
+    /// final rate (default). Disabling it is an ablation: the planner
+    /// trusts the pilot's spread estimate at face value, which experiment
+    /// A1 shows costs guarantee violations.
+    pub pilot_inflation: bool,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            pilot_rate: 0.01,
+            max_final_rate: 0.2,
+            min_covered_group_rows: Some(1_000),
+            pilot_inflation: true,
+        }
+    }
+}
+
+/// Per-(group, aggregate) sufficient statistics over sampled blocks:
+/// `Σt`, `Σt²` for numerator and denominator block totals plus the cross
+/// term, where `t` are per-block totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairTotals {
+    sf: f64,
+    sf2: f64,
+    sg: f64,
+    sg2: f64,
+    sfg: f64,
+}
+
+#[derive(Debug, Clone)]
+struct GroupAcc {
+    key: Vec<Value>,
+    totals: Vec<PairTotals>,
+    cur: Vec<(f64, f64)>,
+    blocks_seen: u64,
+}
+
+/// Accumulates per-group, per-aggregate block totals over a block sample.
+fn accumulate(
+    evaluator: &StarEvaluator,
+    sample: &aqp_sampling::Sample,
+) -> Result<(HashMap<Vec<KeyAtom>, GroupAcc>, u64), AqpError> {
+    let num_aggs = evaluator.query().aggregates.len();
+    let mut groups: HashMap<Vec<KeyAtom>, GroupAcc> = HashMap::new();
+    let mut touched: Vec<Vec<KeyAtom>> = Vec::new();
+    let mut sampled_blocks = 0u64;
+    for (_, block) in sample.table.iter_blocks() {
+        sampled_blocks += 1;
+        touched.clear();
+        for ri in 0..block.len() {
+            let Some(contrib) = evaluator.eval_row(block, ri)? else {
+                continue;
+            };
+            let atoms: Vec<KeyAtom> = contrib.group.iter().map(KeyAtom::from_value).collect();
+            let acc = groups.entry(atoms.clone()).or_insert_with(|| GroupAcc {
+                key: contrib.group.clone(),
+                totals: vec![PairTotals::default(); num_aggs],
+                cur: vec![(0.0, 0.0); num_aggs],
+                blocks_seen: 0,
+            });
+            if acc.cur.iter().all(|&(f, g)| f == 0.0 && g == 0.0) {
+                touched.push(atoms);
+            }
+            for (slot, &(f, g)) in acc.cur.iter_mut().zip(&contrib.per_agg) {
+                slot.0 += f;
+                slot.1 += g;
+            }
+        }
+        // Seal this block's totals for every touched group.
+        for atoms in &touched {
+            let acc = groups.get_mut(atoms).expect("touched implies present");
+            for (t, c) in acc.totals.iter_mut().zip(&mut acc.cur) {
+                t.sf += c.0;
+                t.sf2 += c.0 * c.0;
+                t.sg += c.1;
+                t.sg2 += c.1 * c.1;
+                t.sfg += c.0 * c.1;
+                *c = (0.0, 0.0);
+            }
+            acc.blocks_seen += 1;
+        }
+    }
+    Ok((groups, sampled_blocks))
+}
+
+/// Mean, variance, and covariance of per-block group totals over the
+/// sampled blocks, counting the blocks where the group is absent as zero
+/// totals. These feed the Hájek (ratio) estimators, whose error comes from
+/// block-total *spread* rather than the Bernoulli sample-size noise that
+/// ruins the plain HT estimator at small block counts.
+#[derive(Debug, Clone, Copy)]
+struct BlockSpread {
+    mean_f: f64,
+    mean_g: f64,
+    var_f: f64,
+    var_g: f64,
+    cov: f64,
+}
+
+fn block_spread(t: &PairTotals, m: u64) -> Option<BlockSpread> {
+    if m < 2 {
+        return None;
+    }
+    let mf = m as f64;
+    let mean_f = t.sf / mf;
+    let mean_g = t.sg / mf;
+    let d = mf - 1.0;
+    Some(BlockSpread {
+        mean_f,
+        mean_g,
+        var_f: ((t.sf2 - t.sf * t.sf / mf) / d).max(0.0),
+        var_g: ((t.sg2 - t.sg * t.sg / mf) / d).max(0.0),
+        cov: (t.sfg - t.sf * t.sg / mf) / d,
+    })
+}
+
+/// Hájek estimate for one aggregate: block-total mean scaled to the
+/// population block count, with SRS-of-blocks variance (fpc included).
+/// `m` = sampled blocks, `big_m` = population blocks.
+fn estimate_from_totals(kind: LinearAgg, t: &PairTotals, m: u64, big_m: u64) -> Estimate {
+    let mm = big_m as f64;
+    let fpc = (1.0 - m as f64 / mm).max(0.0);
+    let Some(s) = block_spread(t, m) else {
+        return Estimate::new(if m == 0 { 0.0 } else { t.sf * mm / m as f64 }, f64::MAX, m);
+    };
+    let scale = mm * mm * fpc / m as f64;
+    match kind {
+        LinearAgg::CountStar | LinearAgg::Sum => Estimate::new(mm * s.mean_f, scale * s.var_f, m),
+        LinearAgg::Avg => {
+            let num = Estimate::new(mm * s.mean_f, scale * s.var_f, m);
+            let den = Estimate::new(mm * s.mean_g, scale * s.var_g, m);
+            num.ratio(&den, scale * s.cov)
+        }
+    }
+}
+
+/// The minimum block-sampling rate meeting `(rel_err, z)` for one
+/// aggregate, from pilot spread statistics. `m0` = pilot blocks, `big_m` =
+/// population blocks. Returns `1.0` when sampling cannot meet the target.
+#[allow(clippy::too_many_arguments)] // planner inputs are irreducibly many
+fn required_rate(
+    kind: LinearAgg,
+    t: &PairTotals,
+    m0: u64,
+    big_m: u64,
+    rel_err: f64,
+    z: f64,
+    blocks_seen: u64,
+    inflate: bool,
+) -> f64 {
+    let Some(s) = block_spread(t, m0) else {
+        return 1.0; // one pilot block: spread unobservable
+    };
+    // Conservative inflation for pilot estimation noise; shrinks as the
+    // group appears in more pilot blocks.
+    let infl = if inflate {
+        1.0 + 2.0 / (blocks_seen.max(1) as f64).sqrt()
+    } else {
+        1.0
+    };
+    let mm = big_m as f64;
+    // Relative variance of the Hájek estimate at rate q is
+    // (1−q)/q · B / M, with B the squared coefficient-of-variation term.
+    let b = match kind {
+        LinearAgg::CountStar | LinearAgg::Sum => {
+            if s.mean_f == 0.0 {
+                return 1.0;
+            }
+            s.var_f / (s.mean_f * s.mean_f)
+        }
+        LinearAgg::Avg => {
+            if s.mean_f == 0.0 || s.mean_g == 0.0 {
+                return 1.0;
+            }
+            (s.var_f / (s.mean_f * s.mean_f) + s.var_g / (s.mean_g * s.mean_g)
+                - 2.0 * s.cov / (s.mean_f * s.mean_g))
+                .max(0.0)
+        }
+    } * infl;
+    if b == 0.0 {
+        return 0.0;
+    }
+    let a = mm * (rel_err / z).powi(2);
+    b / (b + a)
+}
+
+/// The online AQP engine.
+pub struct OnlineAqp<'a> {
+    catalog: &'a Catalog,
+    config: OnlineConfig,
+}
+
+impl<'a> OnlineAqp<'a> {
+    /// Creates an engine over a catalog.
+    pub fn new(catalog: &'a Catalog, config: OnlineConfig) -> Self {
+        Self { catalog, config }
+    }
+
+    /// Answers an arbitrary plan: approximately when the shape is
+    /// supported and the planner finds a paying sampling rate, exactly
+    /// otherwise.
+    pub fn answer_plan(
+        &self,
+        plan: &LogicalPlan,
+        spec: &ErrorSpec,
+        seed: u64,
+    ) -> Result<ApproximateAnswer, AqpError> {
+        match AggQuery::from_plan(plan) {
+            Some(q) => self.answer(&q, spec, seed),
+            None => self.exact_plan(plan),
+        }
+    }
+
+    /// Answers a normalized star query with the two-phase sampler.
+    pub fn answer(
+        &self,
+        query: &AggQuery,
+        spec: &ErrorSpec,
+        seed: u64,
+    ) -> Result<ApproximateAnswer, AqpError> {
+        let start = Instant::now();
+        let evaluator = StarEvaluator::new(self.catalog, query)?;
+        let fact = evaluator.fact().clone();
+        let population_rows = fact.row_count() as u64;
+        let dim_rows: u64 = query
+            .joins
+            .iter()
+            .map(|j| {
+                self.catalog
+                    .get(&j.dim_table)
+                    .map(|t| t.row_count() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        // ---- Pilot phase ----
+        // The pilot needs enough blocks for spread estimation (the
+        // literature's "at least 30 units" rule); adapt the rate upward on
+        // small tables.
+        let big_m = fact.block_count() as u64;
+        if big_m < 4 {
+            return self.exact(query, start.elapsed());
+        }
+        let mut pilot_rate = self.config.pilot_rate.max(30.0 / big_m as f64);
+        if let (Some(min_rows), false) = (
+            self.config.min_covered_group_rows,
+            query.group_by.is_empty(),
+        ) {
+            // A group of `min_rows` rows spans at least ceil(min_rows/cap)
+            // blocks; block sampling misses it only if it misses them all.
+            let blocks_per_group = min_rows.div_ceil(fact.block_capacity() as u64).max(1);
+            // Union-bound over a pessimistic group count (≤ population
+            // blocks) at 1% total miss probability.
+            let coverage =
+                aqp_stats::bounds::group_coverage_rate(blocks_per_group, big_m.min(1_000), 0.01);
+            pilot_rate = pilot_rate.max(coverage.min(self.config.max_final_rate));
+        }
+        let pilot_rate = pilot_rate.min(0.5);
+        let pilot = bernoulli_blocks(&fact, pilot_rate, seed);
+        let pilot_rows = pilot.num_rows() as u64;
+        let (pilot_groups, pilot_blocks) = accumulate(&evaluator, &pilot)?;
+        if pilot_groups.is_empty() || pilot_blocks < 2 {
+            // Nothing matched in the pilot: no basis for planning.
+            return self.exact(query, start.elapsed());
+        }
+
+        // ---- Planning ----
+        let num_estimates = pilot_groups.len() * query.aggregates.len();
+        let per_agg_spec = spec.split_across(num_estimates.max(1));
+        let z = per_agg_spec.z();
+        let mut q_final: f64 = 0.0;
+        for acc in pilot_groups.values() {
+            for (agg, t) in query.aggregates.iter().zip(&acc.totals) {
+                let r = required_rate(
+                    agg.kind,
+                    t,
+                    pilot_blocks,
+                    big_m,
+                    spec.relative_error,
+                    z,
+                    acc.blocks_seen,
+                    self.config.pilot_inflation,
+                );
+                q_final = q_final.max(r);
+            }
+        }
+        if q_final > self.config.max_final_rate {
+            // Sampling would not pay off; honor the contract exactly.
+            return self.exact(query, start.elapsed());
+        }
+        // Floor the final rate so spread stays estimable (≥ ~20 blocks).
+        let q_final = q_final.max(20.0 / big_m as f64).min(1.0);
+
+        // ---- Final phase ----
+        let final_sample = bernoulli_blocks(
+            &fact,
+            q_final,
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        );
+        let final_rows = final_sample.num_rows() as u64;
+        let (final_groups, final_blocks) = accumulate(&evaluator, &final_sample)?;
+        let ci_conf = spec
+            .split_across((final_groups.len() * query.aggregates.len()).max(1))
+            .confidence;
+
+        let mut groups: Vec<GroupResult> = final_groups
+            .into_values()
+            .map(|acc| {
+                let estimates: Vec<Estimate> = query
+                    .aggregates
+                    .iter()
+                    .zip(&acc.totals)
+                    .map(|(a, t)| estimate_from_totals(a.kind, t, final_blocks, big_m))
+                    .collect();
+                let intervals = estimates.iter().map(|e| e.ci(ci_conf)).collect();
+                GroupResult {
+                    key: acc.key,
+                    estimates,
+                    intervals,
+                }
+            })
+            .collect();
+        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
+
+        Ok(ApproximateAnswer {
+            group_by: query.group_by.iter().map(|(_, n)| n.clone()).collect(),
+            aggregates: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            groups,
+            report: ExecutionReport {
+                path: ExecutionPath::OnlineBlockSample {
+                    pilot_rate,
+                    final_rate: q_final,
+                },
+                population_rows,
+                rows_touched: pilot_rows + final_rows + dim_rows,
+                wall: start.elapsed(),
+            },
+        })
+    }
+
+    /// Exact execution of a normalized query, wrapped as an answer.
+    pub fn exact(
+        &self,
+        query: &AggQuery,
+        already_spent: std::time::Duration,
+    ) -> Result<ApproximateAnswer, AqpError> {
+        let mut ans = self.exact_plan(&query.to_plan())?;
+        ans.report.wall += already_spent;
+        Ok(ans)
+    }
+
+    /// Exact execution of an arbitrary plan, wrapped as an answer with
+    /// zero-width intervals.
+    pub fn exact_plan(&self, plan: &LogicalPlan) -> Result<ApproximateAnswer, AqpError> {
+        let start = Instant::now();
+        let result = execute(plan, self.catalog)?;
+        let (group_names, agg_names, key_len) = match plan {
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => (
+                group_by.iter().map(|(_, n)| n.clone()).collect::<Vec<_>>(),
+                aggregates
+                    .iter()
+                    .map(|a| a.alias.clone())
+                    .collect::<Vec<_>>(),
+                group_by.len(),
+            ),
+            _ => (
+                vec![],
+                result
+                    .schema()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                0,
+            ),
+        };
+        let mut groups = Vec::with_capacity(result.num_rows());
+        for row in result.rows() {
+            let key = row[..key_len].to_vec();
+            let estimates: Vec<Estimate> = row[key_len..]
+                .iter()
+                .map(|v| Estimate::exact(v.as_f64().unwrap_or(0.0)))
+                .collect();
+            let intervals = estimates.iter().map(|e| e.ci(0.95)).collect();
+            groups.push(GroupResult {
+                key,
+                estimates,
+                intervals,
+            });
+        }
+        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
+        let stats = result.stats();
+        Ok(ApproximateAnswer {
+            group_by: group_names,
+            aggregates: agg_names,
+            groups,
+            report: ExecutionReport {
+                path: ExecutionPath::Exact,
+                population_rows: stats.rows_scanned,
+                rows_touched: stats.rows_scanned,
+                wall: start.elapsed(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_engine::{AggExpr, Query};
+    use aqp_expr::{col, lit};
+    use aqp_workload::{build_star_schema, uniform_table, StarScale};
+
+    fn star_catalog() -> Catalog {
+        let c = Catalog::new();
+        build_star_schema(&c, &StarScale::small(), 11).unwrap();
+        c
+    }
+
+    fn truth_sum(c: &Catalog, plan: &LogicalPlan) -> Vec<Vec<Value>> {
+        execute(plan, c).unwrap().rows()
+    }
+
+    #[test]
+    fn global_sum_meets_spec() {
+        let c = star_catalog();
+        let plan = Query::scan("lineitem")
+            .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+            .build();
+        let truth = truth_sum(&c, &plan)[0][0].as_f64().unwrap();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let spec = ErrorSpec::new(0.05, 0.95);
+        let ans = aqp.answer_plan(&plan, &spec, 3).unwrap();
+        let est = ans.scalar_estimate("s").unwrap();
+        assert!(
+            est.relative_error(truth) < 0.05,
+            "rel err {} exceeds spec",
+            est.relative_error(truth)
+        );
+        assert!(matches!(
+            ans.report.path,
+            ExecutionPath::OnlineBlockSample { .. }
+        ));
+        // It must also be cheap: far less than the full table touched.
+        assert!(ans.report.touched_fraction() < 0.9);
+    }
+
+    #[test]
+    fn avg_with_predicate() {
+        let c = star_catalog();
+        let plan = Query::scan("lineitem")
+            .filter(col("l_sel").lt(lit(0.5)))
+            .aggregate(vec![], vec![AggExpr::avg(col("l_quantity"), "a")])
+            .build();
+        let truth = truth_sum(&c, &plan)[0][0].as_f64().unwrap();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.05, 0.95), 5)
+            .unwrap();
+        let est = ans.scalar_estimate("a").unwrap();
+        assert!(
+            est.relative_error(truth) < 0.05,
+            "rel err {}",
+            est.relative_error(truth)
+        );
+    }
+
+    #[test]
+    fn group_by_with_join() {
+        let c = star_catalog();
+        let plan = Query::scan("lineitem")
+            .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+            .aggregate(
+                vec![(col("o_priority"), "o_priority".to_string())],
+                vec![AggExpr::sum(col("l_price"), "rev")],
+            )
+            .build();
+        let exact_rows = truth_sum(&c, &plan);
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.08, 0.9), 7)
+            .unwrap();
+        assert_eq!(ans.groups.len(), exact_rows.len(), "all 3 priorities found");
+        for row in &exact_rows {
+            let g = ans.group(&row[..1]).expect("group present");
+            let truth = row[1].as_f64().unwrap();
+            assert!(
+                g.estimates[0].relative_error(truth) < 0.08,
+                "group {:?}: rel err {}",
+                row[0],
+                g.estimates[0].relative_error(truth)
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_plan_falls_back_to_exact() {
+        let c = star_catalog();
+        let plan = Query::scan("lineitem")
+            .aggregate(vec![], vec![AggExpr::min(col("l_price"), "m")])
+            .build();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp.answer_plan(&plan, &ErrorSpec::default(), 1).unwrap();
+        assert_eq!(ans.report.path, ExecutionPath::Exact);
+        let exact = truth_sum(&c, &plan)[0][0].as_f64().unwrap();
+        assert_eq!(ans.scalar_estimate("m").unwrap().value, exact);
+    }
+
+    #[test]
+    fn hyper_selective_query_declines_sampling() {
+        let c = star_catalog();
+        // Selectivity ~1e-4: a 1% pilot sees a handful of rows and the
+        // required rate exceeds the cap → exact execution.
+        let plan = Query::scan("lineitem")
+            .filter(col("l_sel").lt(lit(0.0001)))
+            .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+            .build();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.01, 0.95), 2)
+            .unwrap();
+        assert_eq!(ans.report.path, ExecutionPath::Exact);
+    }
+
+    #[test]
+    fn tighter_spec_higher_rate() {
+        // Skewed values in small blocks: block-total spread is large
+        // enough that the error target, not the block floor, drives the
+        // planned rate.
+        let c = Catalog::new();
+        c.register(aqp_workload::skewed_table("t", 200_000, 20, 1.0, 64, 13))
+            .unwrap();
+        let plan = Query::scan("t")
+            .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+            .build();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let rate = |eps: f64| match aqp
+            .answer_plan(&plan, &ErrorSpec::new(eps, 0.95), 9)
+            .unwrap()
+            .report
+            .path
+        {
+            ExecutionPath::OnlineBlockSample { final_rate, .. } => final_rate,
+            _ => 1.0,
+        };
+        let (tight, loose) = (rate(0.02), rate(0.10));
+        assert!(
+            tight > loose,
+            "tight spec rate {tight} should exceed loose spec rate {loose}"
+        );
+    }
+
+    #[test]
+    fn empty_pilot_falls_back() {
+        // A predicate nothing satisfies: pilot finds nothing, exact runs.
+        let c = Catalog::new();
+        c.register(uniform_table("t", 5000, 64, 1)).unwrap();
+        let plan = Query::scan("t")
+            .filter(col("v").gt(lit(1e12)))
+            .aggregate(vec![], vec![AggExpr::count_star("n")])
+            .build();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp.answer_plan(&plan, &ErrorSpec::default(), 4).unwrap();
+        assert_eq!(ans.report.path, ExecutionPath::Exact);
+        assert_eq!(ans.scalar_estimate("n").unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn error_spec_adherence_across_seeds() {
+        // The heart of the a-priori contract: across repeated runs, the
+        // achieved error should violate the spec no more often than
+        // (1 − confidence) allows. With conservative planning we expect
+        // almost no violations.
+        let c = star_catalog();
+        let plan = Query::scan("lineitem")
+            .filter(col("l_sel").lt(lit(0.3)))
+            .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+            .build();
+        let truth = truth_sum(&c, &plan)[0][0].as_f64().unwrap();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let spec = ErrorSpec::new(0.05, 0.9);
+        let mut violations = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let ans = aqp.answer_plan(&plan, &spec, seed).unwrap();
+            if let Some(est) = ans.scalar_estimate("s") {
+                if est.relative_error(truth) > spec.relative_error {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(violations <= 3, "{violations}/{trials} spec violations");
+    }
+}
+
+#[cfg(test)]
+mod two_dim_tests {
+    use super::*;
+    use aqp_engine::{execute, AggExpr, Query};
+    use aqp_expr::{col, lit};
+    use aqp_workload::{build_star_schema, StarScale};
+
+    #[test]
+    fn two_dimension_star_query_meets_spec() {
+        // lineitem ⋈ orders ⋈ part with a dimension predicate: the
+        // deepest supported shape.
+        let c = Catalog::new();
+        build_star_schema(&c, &StarScale::small(), 55).unwrap();
+        let plan = Query::scan("lineitem")
+            .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+            .join(Query::scan("part"), col("l_partkey"), col("p_key"))
+            .filter(col("p_price").gt(lit(500.0)))
+            .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "rev")])
+            .build();
+        let truth = execute(&plan, &c).unwrap().rows()[0][0].as_f64().unwrap();
+        let aqp = OnlineAqp::new(&c, OnlineConfig::default());
+        let ans = aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.06, 0.9), 17)
+            .unwrap();
+        let est = ans.scalar_estimate("rev").unwrap();
+        assert!(
+            est.relative_error(truth) < 0.06,
+            "two-dim star rel err {}",
+            est.relative_error(truth)
+        );
+        // Either path is legal, but the sample path must touch less data.
+        if matches!(ans.report.path, ExecutionPath::OnlineBlockSample { .. }) {
+            assert!(ans.report.touched_fraction() < 1.0);
+        }
+    }
+
+    #[test]
+    fn group_coverage_pilot_floor_applies() {
+        // With min_covered_group_rows set, a grouped query must get a
+        // pilot rate at least at the coverage floor.
+        let c = Catalog::new();
+        build_star_schema(&c, &StarScale::small(), 56).unwrap();
+        let plan = Query::scan("lineitem")
+            .aggregate(
+                vec![(col("l_shipmode"), "m".to_string())],
+                vec![AggExpr::count_star("n")],
+            )
+            .build();
+        let with_floor = OnlineAqp::new(
+            &c,
+            OnlineConfig {
+                min_covered_group_rows: Some(2_000),
+                ..OnlineConfig::default()
+            },
+        );
+        let ans = with_floor
+            .answer_plan(&plan, &ErrorSpec::new(0.1, 0.9), 3)
+            .unwrap();
+        if let ExecutionPath::OnlineBlockSample { pilot_rate, .. } = ans.report.path {
+            let without_floor = OnlineAqp::new(
+                &c,
+                OnlineConfig {
+                    min_covered_group_rows: None,
+                    ..OnlineConfig::default()
+                },
+            );
+            let ans2 = without_floor
+                .answer_plan(&plan, &ErrorSpec::new(0.1, 0.9), 3)
+                .unwrap();
+            if let ExecutionPath::OnlineBlockSample {
+                pilot_rate: base, ..
+            } = ans2.report.path
+            {
+                assert!(pilot_rate >= base, "floor must not lower the pilot rate");
+            }
+        }
+        // All 7 ship modes are large: every one must be in the answer.
+        assert_eq!(ans.groups.len(), 7);
+    }
+}

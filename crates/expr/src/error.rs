@@ -1,0 +1,57 @@
+//! Expression evaluation errors.
+
+use std::fmt;
+
+use aqp_storage::StorageError;
+
+/// Errors raised while type-checking or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Underlying storage error (e.g. unknown column).
+    Storage(StorageError),
+    /// The operation is not defined for the operand types.
+    InvalidOperation {
+        /// Human-readable description of the offending operation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::InvalidOperation { detail } => write!(f, "invalid operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExprError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExprError::from(StorageError::ColumnNotFound { name: "x".into() });
+        assert!(e.to_string().contains("column not found"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ExprError::InvalidOperation {
+            detail: "bool + int".into(),
+        };
+        assert!(e.to_string().contains("bool + int"));
+    }
+}

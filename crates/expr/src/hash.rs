@@ -1,0 +1,151 @@
+//! Stable 64-bit value hashing.
+//!
+//! Universe sampling includes a row iff `hash(key) / 2⁶⁴ < p`. For the join
+//! guarantees to hold, *both* tables must agree on the hash of equal keys —
+//! including when one side stores the key as INT64 and the other as a numeric
+//! FLOAT64 — and the hash must be stable across runs and processes (unlike
+//! `std::collections::hash_map::RandomState`). This module provides that
+//! canonical hash.
+
+use aqp_storage::Value;
+
+/// Avalanche finalizer from splitmix64 / murmur3; full 64-bit diffusion.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, then mixed. Used for strings.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Stable 64-bit hash of a value.
+///
+/// Guarantees:
+/// * deterministic across runs, processes, and platforms;
+/// * `Int64(k)` and `Float64(k as f64)` hash identically when the float is
+///   integral (canonical numeric form), so joins between INT and FLOAT key
+///   columns still satisfy universe-sampling alignment;
+/// * NULL hashes to a fixed sentinel.
+pub fn stable_hash64(value: &Value) -> u64 {
+    const TAG_NULL: u64 = 0x9e37_79b9_7f4a_7c15;
+    const TAG_INT: u64 = 0x517c_c1b7_2722_0a95;
+    const TAG_STR: u64 = 0x2545_f491_4f6c_dd1d;
+    const TAG_BOOL: u64 = 0x27d4_eb2f_1656_67c5;
+    match value {
+        Value::Null => mix64(TAG_NULL),
+        Value::Int64(v) => mix64(TAG_INT ^ (*v as u64)),
+        Value::Float64(v) => {
+            // Canonicalize integral floats to the integer encoding.
+            if v.fract() == 0.0 && v.abs() < 9.0e18 {
+                mix64(TAG_INT ^ (*v as i64 as u64))
+            } else {
+                mix64(TAG_INT ^ v.to_bits())
+            }
+        }
+        Value::Str(s) => mix64(TAG_STR ^ hash_bytes(s.as_bytes())),
+        Value::Bool(b) => mix64(TAG_BOOL ^ (*b as u64)),
+    }
+}
+
+/// Maps a hash to the unit interval [0, 1): the inclusion test of universe
+/// sampling is `hash_to_unit(h) < p`.
+#[inline]
+pub fn hash_to_unit(h: u64) -> f64 {
+    // Use the top 53 bits for a uniform double in [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            stable_hash64(&Value::Int64(42)),
+            stable_hash64(&Value::Int64(42))
+        );
+        assert_eq!(
+            stable_hash64(&Value::str("abc")),
+            stable_hash64(&Value::str("abc"))
+        );
+    }
+
+    #[test]
+    fn int_float_canonical_agreement() {
+        assert_eq!(
+            stable_hash64(&Value::Int64(7)),
+            stable_hash64(&Value::Float64(7.0))
+        );
+        assert_ne!(
+            stable_hash64(&Value::Float64(7.5)),
+            stable_hash64(&Value::Int64(7))
+        );
+    }
+
+    #[test]
+    fn distinct_values_rarely_collide() {
+        let mut hashes: Vec<u64> = (0..10_000)
+            .map(|i| stable_hash64(&Value::Int64(i)))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 10_000, "collision among 10k consecutive ints");
+    }
+
+    #[test]
+    fn type_tags_separate_domains() {
+        assert_ne!(
+            stable_hash64(&Value::Int64(1)),
+            stable_hash64(&Value::Bool(true))
+        );
+        assert_ne!(stable_hash64(&Value::Int64(0)), stable_hash64(&Value::Null));
+        assert_ne!(
+            stable_hash64(&Value::str("1")),
+            stable_hash64(&Value::Int64(1))
+        );
+    }
+
+    #[test]
+    fn unit_mapping_is_uniform() {
+        // Mean of hash_to_unit over consecutive keys should be ~0.5.
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|i| hash_to_unit(stable_hash64(&Value::Int64(i))))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        // And all values must be in [0,1).
+        for i in 0..1000 {
+            let u = hash_to_unit(stable_hash64(&Value::Int64(i)));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_mapping_thresholding_rate() {
+        // ~10% of keys should fall under p = 0.1.
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|&i| hash_to_unit(stable_hash64(&Value::Int64(i))) < 0.1)
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn mix64_bijective_spot_check() {
+        // mix64 is a bijection; distinct inputs give distinct outputs.
+        let outs: std::collections::HashSet<u64> = (0..1000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 1000);
+    }
+}

@@ -1,0 +1,19 @@
+//! Expression AST and vectorized evaluation over columnar blocks.
+//!
+//! Queries in this workspace are built from typed [`Expr`] trees (no SQL
+//! string parsing — see DESIGN.md §5). Expressions evaluate block-at-a-time
+//! with SQL three-valued logic, and provide the stable 64-bit value hashing
+//! that *universe sampling* relies on (two tables sampled on the same join
+//! key must agree on which key values are "in the universe").
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod hash;
+
+pub use error::ExprError;
+pub use expr::{col, lit, BinaryOp, Expr};
+pub use hash::stable_hash64;

@@ -1,0 +1,943 @@
+//! Samples, sampling designs, and design-correct estimation.
+//!
+//! A [`Sample`] bundles the sampled rows (as a [`Table`]) with the
+//! [`SampleDesign`] that produced them. Estimation dispatches on the design:
+//! the *same* observed rows yield different variances — and sometimes
+//! different point estimates — under different designs, which is exactly the
+//! statistical content of NSB's sampler taxonomy.
+//!
+//! All SUM/COUNT estimators are Horvitz–Thompson; AVG is the ratio
+//! estimator with design-correct numerator/denominator covariance.
+
+use aqp_stats::Estimate;
+use aqp_storage::{Block, DataType, Field, Schema, StorageError, Table, TableBuilder, Value};
+
+/// Per-row Horvitz–Thompson weights.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowWeights {
+    /// Every sampled row carries the same weight (1 / inclusion probability).
+    Uniform(f64),
+    /// Row-specific weights, aligned with the sample table's global row ids.
+    PerRow(Vec<f64>),
+}
+
+impl RowWeights {
+    /// Weight of global sample row `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        match self {
+            RowWeights::Uniform(w) => *w,
+            RowWeights::PerRow(v) => v[i],
+        }
+    }
+}
+
+/// Metadata for one stratum of a stratified sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumMeta {
+    /// The stratum's key value.
+    pub key: Value,
+    /// Stratum size in the *population*.
+    pub population_size: u64,
+    /// First global row id of this stratum within the sample table.
+    pub row_start: usize,
+    /// One past the last global row id of this stratum.
+    pub row_end: usize,
+}
+
+/// The sampling design that produced a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleDesign {
+    /// Row-level Bernoulli(q) sampling.
+    BernoulliRows {
+        /// Inclusion probability per row.
+        rate: f64,
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Block-level Bernoulli(q) sampling (cluster design).
+    BernoulliBlocks {
+        /// Inclusion probability per block.
+        rate: f64,
+        /// Population block count.
+        population_blocks: u64,
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Fixed-size simple random sample of rows (without replacement).
+    FixedSizeRows {
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Fixed-size simple random sample of blocks.
+    FixedSizeBlocks {
+        /// Population block count.
+        population_blocks: u64,
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Stratified sample over a grouping column.
+    Stratified {
+        /// The stratification column.
+        column: String,
+        /// Per-stratum metadata, in sample-table order.
+        strata: Vec<StratumMeta>,
+    },
+    /// Universe (hash) sample on a key column: a key is in or out for *all*
+    /// its rows, in every table sampled with the same salt.
+    Universe {
+        /// The key column.
+        column: String,
+        /// Fraction of the key universe included.
+        rate: f64,
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Bi-level sampling: Bernoulli over blocks at `block_rate`, then
+    /// Bernoulli over rows within surviving blocks at `row_rate`.
+    BiLevel {
+        /// First-stage (block) inclusion probability.
+        block_rate: f64,
+        /// Second-stage (within-block row) inclusion probability.
+        row_rate: f64,
+        /// Population block count.
+        population_blocks: u64,
+        /// Population row count.
+        population_rows: u64,
+    },
+    /// Distinct sampler: the first `cap` rows of every key are kept with
+    /// weight 1, the tail is Bernoulli(rate)-sampled.
+    Distinct {
+        /// Key columns.
+        columns: Vec<String>,
+        /// Rows per key kept deterministically.
+        cap: usize,
+        /// Sampling rate beyond the cap.
+        rate: f64,
+        /// Population row count.
+        population_rows: u64,
+    },
+}
+
+impl SampleDesign {
+    /// Short human-readable name (used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SampleDesign::BernoulliRows { .. } => "bernoulli-rows",
+            SampleDesign::BernoulliBlocks { .. } => "bernoulli-blocks",
+            SampleDesign::FixedSizeRows { .. } => "srs-rows",
+            SampleDesign::FixedSizeBlocks { .. } => "srs-blocks",
+            SampleDesign::Stratified { .. } => "stratified",
+            SampleDesign::Universe { .. } => "universe",
+            SampleDesign::BiLevel { .. } => "bilevel",
+            SampleDesign::Distinct { .. } => "distinct",
+        }
+    }
+
+    /// Whether producing this design required touching every population
+    /// block (NSB's system-efficiency axis): block designs skip blocks,
+    /// everything else must at least read each row once.
+    pub fn scans_everything(&self) -> bool {
+        !matches!(
+            self,
+            SampleDesign::BernoulliBlocks { .. }
+                | SampleDesign::FixedSizeBlocks { .. }
+                | SampleDesign::BiLevel { .. }
+        )
+    }
+}
+
+/// A sampled table plus the design metadata needed for estimation.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The sampled rows.
+    pub table: Table,
+    /// The design that produced them.
+    pub design: SampleDesign,
+    /// Horvitz–Thompson row weights.
+    pub weights: RowWeights,
+}
+
+/// Sufficient statistics for a pair of HT totals (numerator f, denominator
+/// g) under one design: estimates, variances, covariance, and the number of
+/// independent sampling units.
+#[derive(Debug, Clone, Copy)]
+struct PairStats {
+    est_f: f64,
+    var_f: f64,
+    est_g: f64,
+    var_g: f64,
+    cov: f64,
+    units: u64,
+}
+
+impl Sample {
+    /// Number of sampled rows.
+    pub fn num_rows(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Estimates `SUM(f)` over the population, where `f` maps a sampled row
+    /// to its contribution (0.0 for rows outside the aggregation domain).
+    pub fn estimate_sum_with(&self, f: &mut dyn FnMut(&Block, usize) -> f64) -> Estimate {
+        let stats = self.pair_stats(&mut |b, i| (f(b, i), 0.0));
+        Estimate::new(stats.est_f, stats.var_f.max(0.0), stats.units)
+    }
+
+    /// Estimates the population row count of the domain selected by the
+    /// indicator `ind` (1.0 in-domain, 0.0 out).
+    pub fn estimate_count_with(&self, ind: &mut dyn FnMut(&Block, usize) -> f64) -> Estimate {
+        self.estimate_sum_with(ind)
+    }
+
+    /// Estimates `AVG(f)` over the domain selected by `ind` via the ratio
+    /// estimator `SUM(f·ind) / SUM(ind)` with design-correct covariance.
+    pub fn estimate_avg_with(
+        &self,
+        f: &mut dyn FnMut(&Block, usize) -> f64,
+        ind: &mut dyn FnMut(&Block, usize) -> f64,
+    ) -> Estimate {
+        let stats = self.pair_stats(&mut |b, i| {
+            let w = ind(b, i);
+            (f(b, i) * w, w)
+        });
+        let numerator = Estimate::new(stats.est_f, stats.var_f.max(0.0), stats.units);
+        let denominator = Estimate::new(stats.est_g, stats.var_g.max(0.0), stats.units);
+        numerator.ratio(&denominator, stats.cov)
+    }
+
+    /// Convenience: estimated population SUM of a column (NULL counts as 0).
+    pub fn estimate_sum(&self, column: &str) -> Result<Estimate, StorageError> {
+        let idx = self.table.schema().index_of(column)?;
+        Ok(self.estimate_sum_with(&mut |b, i| b.column(idx).f64_at(i).unwrap_or(0.0)))
+    }
+
+    /// Convenience: estimated population row count.
+    pub fn estimate_count(&self) -> Estimate {
+        self.estimate_count_with(&mut |_, _| 1.0)
+    }
+
+    /// Convenience: estimated population AVG of a column (NULLs excluded).
+    pub fn estimate_avg(&self, column: &str) -> Result<Estimate, StorageError> {
+        let idx = self.table.schema().index_of(column)?;
+        Ok(self.estimate_avg_with(
+            &mut |b, i| b.column(idx).f64_at(i).unwrap_or(0.0),
+            &mut |b, i| {
+                if b.column(idx).is_null(i) {
+                    0.0
+                } else {
+                    1.0
+                }
+            },
+        ))
+    }
+
+    /// Materializes the sample as a table with an extra FLOAT64 weight
+    /// column, so the exact engine can compute weighted (HT) aggregates —
+    /// the middleware query-rewriting path.
+    pub fn to_weighted_table(
+        &self,
+        name: impl Into<String>,
+        weight_column: &str,
+    ) -> Result<Table, StorageError> {
+        let old = self.table.schema();
+        let mut fields = old.fields().to_vec();
+        fields.push(Field::new(weight_column, DataType::Float64));
+        let mut builder = TableBuilder::with_block_capacity(
+            name,
+            Schema::new(fields),
+            self.table.block_capacity(),
+        );
+        let mut global = 0usize;
+        for (_, block) in self.table.iter_blocks() {
+            for i in 0..block.len() {
+                let mut row = block.row(i);
+                row.push(Value::Float64(self.weights.weight(global)));
+                builder.push_row(&row)?;
+                global += 1;
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Computes per-design sufficient statistics for the HT totals of two
+    /// row functions.
+    fn pair_stats(&self, fg: &mut dyn FnMut(&Block, usize) -> (f64, f64)) -> PairStats {
+        match &self.design {
+            SampleDesign::BernoulliRows { rate, .. } => self.bernoulli_row_stats(*rate, fg),
+            SampleDesign::Universe { column, rate, .. } => self.universe_stats(column, *rate, fg),
+            SampleDesign::BernoulliBlocks { rate, .. } => self.bernoulli_block_stats(*rate, fg),
+            SampleDesign::FixedSizeRows { population_rows } => {
+                self.srs_row_stats(*population_rows, fg)
+            }
+            SampleDesign::FixedSizeBlocks {
+                population_blocks, ..
+            } => self.srs_block_stats(*population_blocks, fg),
+            SampleDesign::Stratified { strata, .. } => self.stratified_stats(strata, fg),
+            SampleDesign::BiLevel {
+                block_rate,
+                row_rate,
+                ..
+            } => self.bilevel_stats(*block_rate, *row_rate, fg),
+            SampleDesign::Distinct { .. } => self.weighted_poisson_stats(fg),
+        }
+    }
+
+    /// Bernoulli(q) over rows: HT with `Var = (1−q)/q²·Σx²`,
+    /// `Cov = (1−q)/q²·Σfg`.
+    fn bernoulli_row_stats(
+        &self,
+        q: f64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let (mut sf, mut sf2, mut sg, mut sg2, mut sfg) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut n = 0u64;
+        for (_, block) in self.table.iter_blocks() {
+            for i in 0..block.len() {
+                let (x, y) = fg(block, i);
+                sf += x;
+                sf2 += x * x;
+                sg += y;
+                sg2 += y * y;
+                sfg += x * y;
+                n += 1;
+            }
+        }
+        let c = (1.0 - q) / (q * q);
+        PairStats {
+            est_f: sf / q,
+            var_f: c * sf2,
+            est_g: sg / q,
+            var_g: c * sg2,
+            cov: c * sfg,
+            units: n,
+        }
+    }
+
+    /// Bernoulli(q) over blocks: same HT algebra with block totals as the
+    /// sampling units — the within-block correlation NSB warns about lives
+    /// entirely in these totals.
+    fn bernoulli_block_stats(
+        &self,
+        q: f64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let (mut sf, mut sf2, mut sg, mut sg2, mut sfg) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut m = 0u64;
+        for (_, block) in self.table.iter_blocks() {
+            let (mut tf, mut tg) = (0.0, 0.0);
+            for i in 0..block.len() {
+                let (x, y) = fg(block, i);
+                tf += x;
+                tg += y;
+            }
+            sf += tf;
+            sf2 += tf * tf;
+            sg += tg;
+            sg2 += tg * tg;
+            sfg += tf * tg;
+            m += 1;
+        }
+        let c = (1.0 - q) / (q * q);
+        PairStats {
+            est_f: sf / q,
+            var_f: c * sf2,
+            est_g: sg / q,
+            var_g: c * sg2,
+            cov: c * sfg,
+            units: m,
+        }
+    }
+
+    /// SRS without replacement over rows: `T̂ = N·x̄` with fpc, ratio
+    /// covariance from the sample covariance of (f, g).
+    fn srs_row_stats(
+        &self,
+        population: u64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let mut xs = Vec::with_capacity(self.num_rows());
+        let mut ys = Vec::with_capacity(self.num_rows());
+        for (_, block) in self.table.iter_blocks() {
+            for i in 0..block.len() {
+                let (x, y) = fg(block, i);
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        srs_pair(&xs, &ys, population)
+    }
+
+    /// SRS over blocks (cluster sampling): block totals are the units.
+    fn srs_block_stats(
+        &self,
+        population_blocks: u64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let mut xs = Vec::with_capacity(self.table.block_count());
+        let mut ys = Vec::with_capacity(self.table.block_count());
+        for (_, block) in self.table.iter_blocks() {
+            let (mut tf, mut tg) = (0.0, 0.0);
+            for i in 0..block.len() {
+                let (x, y) = fg(block, i);
+                tf += x;
+                tg += y;
+            }
+            xs.push(tf);
+            ys.push(tg);
+        }
+        srs_pair(&xs, &ys, population_blocks)
+    }
+
+    /// Stratified design: independent SRS inside each stratum; totals,
+    /// variances, and covariances add across strata.
+    fn stratified_stats(
+        &self,
+        strata: &[StratumMeta],
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let mut total = PairStats {
+            est_f: 0.0,
+            var_f: 0.0,
+            est_g: 0.0,
+            var_g: 0.0,
+            cov: 0.0,
+            units: 0,
+        };
+        for s in strata {
+            let count = s.row_end - s.row_start;
+            if count == 0 {
+                continue;
+            }
+            let mut xs = Vec::with_capacity(count);
+            let mut ys = Vec::with_capacity(count);
+            for global in s.row_start..s.row_end {
+                let (bi, ri) = self.table.locate_row(global);
+                let block = self.table.block(bi);
+                let (x, y) = fg(block, ri);
+                xs.push(x);
+                ys.push(y);
+            }
+            let part = srs_pair(&xs, &ys, s.population_size);
+            total.est_f += part.est_f;
+            total.var_f += part.var_f;
+            total.est_g += part.est_g;
+            total.var_g += part.var_g;
+            total.cov += part.cov;
+            total.units += part.units;
+        }
+        total
+    }
+
+    /// Universe sampling: the sampled *keys* are the independent units; all
+    /// rows of a key enter together, so totals are per-key.
+    fn universe_stats(
+        &self,
+        column: &str,
+        q: f64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        use std::collections::HashMap;
+        let idx = self
+            .table
+            .schema()
+            .index_of(column)
+            .expect("universe key column exists in the sample by construction");
+        let mut per_key: HashMap<u64, (f64, f64)> = HashMap::new();
+        for (_, block) in self.table.iter_blocks() {
+            let col = block.column(idx);
+            for i in 0..block.len() {
+                let h = aqp_expr::stable_hash64(&col.get(i));
+                let e = per_key.entry(h).or_insert((0.0, 0.0));
+                let (x, y) = fg(block, i);
+                e.0 += x;
+                e.1 += y;
+            }
+        }
+        let (mut sf, mut sf2, mut sg, mut sg2, mut sfg) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (tf, tg) in per_key.values() {
+            sf += tf;
+            sf2 += tf * tf;
+            sg += tg;
+            sg2 += tg * tg;
+            sfg += tf * tg;
+        }
+        let c = (1.0 - q) / (q * q);
+        PairStats {
+            est_f: sf / q,
+            var_f: c * sf2,
+            est_g: sg / q,
+            var_g: c * sg2,
+            cov: c * sfg,
+            units: per_key.len() as u64,
+        }
+    }
+
+    /// Two-stage Bernoulli (bi-level): HT with
+    /// `Var ≈ (1−q_b)/q_b²·Σ_j T̂_j² + (1−q_r)/(q_b·q_r)²·Σ_i x_i²`,
+    /// where `T̂_j = t_j/q_r` are within-block-expanded block totals. The
+    /// first term slightly over-counts (it includes within-block noise),
+    /// making the interval conservative.
+    fn bilevel_stats(
+        &self,
+        qb: f64,
+        qr: f64,
+        fg: &mut dyn FnMut(&Block, usize) -> (f64, f64),
+    ) -> PairStats {
+        let (mut sf, mut sg) = (0.0, 0.0);
+        let (mut bf2, mut bg2, mut bfg) = (0.0, 0.0, 0.0); // Σ block-total products
+        let (mut rf2, mut rg2, mut rfg) = (0.0, 0.0, 0.0); // Σ per-row products
+        let mut m = 0u64;
+        for (_, block) in self.table.iter_blocks() {
+            let (mut tf, mut tg) = (0.0, 0.0);
+            for i in 0..block.len() {
+                let (x, y) = fg(block, i);
+                tf += x;
+                tg += y;
+                rf2 += x * x;
+                rg2 += y * y;
+                rfg += x * y;
+            }
+            let (ef, eg) = (tf / qr, tg / qr);
+            bf2 += ef * ef;
+            bg2 += eg * eg;
+            bfg += ef * eg;
+            sf += tf;
+            sg += tg;
+            m += 1;
+        }
+        let q = qb * qr;
+        let c_block = (1.0 - qb) / (qb * qb);
+        let c_row = (1.0 - qr) / (q * q);
+        PairStats {
+            est_f: sf / q,
+            var_f: c_block * bf2 + c_row * rf2,
+            est_g: sg / q,
+            var_g: c_block * bg2 + c_row * rg2,
+            cov: c_block * bfg + c_row * rfg,
+            units: m,
+        }
+    }
+
+    /// Poisson sampling with per-row inclusion probabilities (the distinct
+    /// sampler): `T̂ = Σwx`, `Var = Σw(w−1)x²` (zero for cap rows, w = 1).
+    fn weighted_poisson_stats(&self, fg: &mut dyn FnMut(&Block, usize) -> (f64, f64)) -> PairStats {
+        let (mut sf, mut vf, mut sg, mut vg, mut cv) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let mut n = 0u64;
+        let mut global = 0usize;
+        for (_, block) in self.table.iter_blocks() {
+            for i in 0..block.len() {
+                let w = self.weights.weight(global);
+                let (x, y) = fg(block, i);
+                sf += w * x;
+                sg += w * y;
+                let excess = w * (w - 1.0);
+                vf += excess * x * x;
+                vg += excess * y * y;
+                cv += excess * x * y;
+                n += 1;
+                global += 1;
+            }
+        }
+        PairStats {
+            est_f: sf,
+            var_f: vf,
+            est_g: sg,
+            var_g: vg,
+            cov: cv,
+            units: n,
+        }
+    }
+}
+
+/// SRS-without-replacement sufficient statistics for a pair of row
+/// functions: totals `N·x̄` with fpc'd variances and covariance.
+fn srs_pair(xs: &[f64], ys: &[f64], population: u64) -> PairStats {
+    let n = xs.len();
+    let big_n = population as f64;
+    if n == 0 {
+        return PairStats {
+            est_f: 0.0,
+            var_f: f64::MAX,
+            est_g: 0.0,
+            var_g: f64::MAX,
+            cov: 0.0,
+            units: 0,
+        };
+    }
+    let nf = n as f64;
+    let mean_x: f64 = xs.iter().sum::<f64>() / nf;
+    let mean_y: f64 = ys.iter().sum::<f64>() / nf;
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mean_x, y - mean_y);
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    let fpc = (1.0 - nf / big_n).max(0.0);
+    let (var_x, var_y, cov_xy) = if fpc == 0.0 {
+        // Census: no sampling variance regardless of sample size.
+        (0.0, 0.0, 0.0)
+    } else if n >= 2 {
+        let d = nf - 1.0;
+        (sxx / d, syy / d, sxy / d)
+    } else {
+        // A single unit cannot estimate dispersion.
+        (f64::MAX, f64::MAX, 0.0)
+    };
+    let scale = big_n * big_n * fpc / nf;
+    PairStats {
+        est_f: big_n * mean_x,
+        var_f: if var_x == f64::MAX {
+            f64::MAX
+        } else {
+            scale * var_x
+        },
+        est_g: big_n * mean_y,
+        var_g: if var_y == f64::MAX {
+            f64::MAX
+        } else {
+            scale * var_y
+        },
+        cov: if n >= 2 { scale * cov_xy } else { 0.0 },
+        units: n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_storage::{Field, Schema, TableBuilder};
+
+    fn small_table(values: &[f64], cap: usize) -> Table {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float64)]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, cap);
+        for &v in values {
+            b.push_row(&[Value::Float64(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn bernoulli_rows_ht_estimates() {
+        // A "sample" of 3 rows drawn at rate 0.5 from a 6-row population.
+        let s = Sample {
+            table: small_table(&[1.0, 2.0, 3.0], 2),
+            design: SampleDesign::BernoulliRows {
+                rate: 0.5,
+                population_rows: 6,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        assert!((sum.value - 12.0).abs() < 1e-12);
+        // Var = (0.5/0.25)·(1+4+9) = 28.
+        assert!((sum.variance - 28.0).abs() < 1e-12);
+        let cnt = s.estimate_count();
+        assert!((cnt.value - 6.0).abs() < 1e-12);
+        let avg = s.estimate_avg("v").unwrap();
+        assert!((avg.value - 2.0).abs() < 1e-12);
+        assert!(avg.variance.is_finite());
+    }
+
+    #[test]
+    fn bernoulli_blocks_uses_block_totals() {
+        // Two blocks of two rows each, rate 0.5.
+        let s = Sample {
+            table: small_table(&[1.0, 2.0, 3.0, 4.0], 2),
+            design: SampleDesign::BernoulliBlocks {
+                rate: 0.5,
+                population_blocks: 4,
+                population_rows: 8,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        assert!((sum.value - 20.0).abs() < 1e-12);
+        // Block totals 3 and 7: Var = 2·(9+49) = 116.
+        assert!((sum.variance - 116.0).abs() < 1e-12);
+        assert_eq!(sum.n, 2); // units are blocks
+    }
+
+    #[test]
+    fn block_design_counts_blocks_not_rows() {
+        let s_rows = Sample {
+            table: small_table(&[1.0, 2.0, 3.0, 4.0], 2),
+            design: SampleDesign::BernoulliRows {
+                rate: 0.5,
+                population_rows: 8,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let s_blocks = Sample {
+            table: small_table(&[1.0, 2.0, 3.0, 4.0], 2),
+            design: SampleDesign::BernoulliBlocks {
+                rate: 0.5,
+                population_blocks: 4,
+                population_rows: 8,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        assert_eq!(s_rows.estimate_count().n, 4);
+        assert_eq!(s_blocks.estimate_count().n, 2);
+        // Same point estimate either way (HT is design-unbiased).
+        assert_eq!(
+            s_rows.estimate_count().value,
+            s_blocks.estimate_count().value
+        );
+    }
+
+    #[test]
+    fn srs_rows_with_fpc() {
+        let s = Sample {
+            table: small_table(&[1.0, 2.0, 3.0, 4.0, 5.0], 8),
+            design: SampleDesign::FixedSizeRows {
+                population_rows: 10,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        assert!((sum.value - 30.0).abs() < 1e-12);
+        // s² = 2.5; Var = 100·0.5·2.5/5 = 25.
+        assert!((sum.variance - 25.0).abs() < 1e-12);
+        // Census: zero variance.
+        let census = Sample {
+            table: small_table(&[1.0, 2.0], 8),
+            design: SampleDesign::FixedSizeRows { population_rows: 2 },
+            weights: RowWeights::Uniform(1.0),
+        };
+        assert_eq!(census.estimate_sum("v").unwrap().variance, 0.0);
+    }
+
+    #[test]
+    fn srs_blocks_cluster_estimate() {
+        // Blocks of 2: totals 3, 7; M = 4 blocks in population.
+        let s = Sample {
+            table: small_table(&[1.0, 2.0, 3.0, 4.0], 2),
+            design: SampleDesign::FixedSizeBlocks {
+                population_blocks: 4,
+                population_rows: 8,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        // T̂ = 4·mean(3,7) = 20.
+        assert!((sum.value - 20.0).abs() < 1e-12);
+        // s² of totals = 8; Var = 16·0.5·8/2 = 32.
+        assert!((sum.variance - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_sums_across_strata() {
+        // Stratum A: rows [0,2) pop 4; stratum B: rows [2,3) pop 2.
+        let s = Sample {
+            table: small_table(&[10.0, 12.0, 100.0], 8),
+            design: SampleDesign::Stratified {
+                column: "g".into(),
+                strata: vec![
+                    StratumMeta {
+                        key: Value::str("a"),
+                        population_size: 4,
+                        row_start: 0,
+                        row_end: 2,
+                    },
+                    StratumMeta {
+                        key: Value::str("b"),
+                        population_size: 2,
+                        row_start: 2,
+                        row_end: 3,
+                    },
+                ],
+            },
+            weights: RowWeights::PerRow(vec![2.0, 2.0, 2.0]),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        // 4·11 + 2·100 = 244.
+        assert!((sum.value - 244.0).abs() < 1e-12);
+        // Stratum B has one unit: dispersion unobservable → huge variance.
+        assert_eq!(sum.variance, f64::MAX);
+    }
+
+    #[test]
+    fn universe_groups_by_key() {
+        // Keys: two rows of key 1, one row of key 2; rate 0.5.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, 8);
+        b.push_row(&[Value::Int64(1), Value::Float64(5.0)]).unwrap();
+        b.push_row(&[Value::Int64(1), Value::Float64(7.0)]).unwrap();
+        b.push_row(&[Value::Int64(2), Value::Float64(3.0)]).unwrap();
+        let s = Sample {
+            table: b.finish(),
+            design: SampleDesign::Universe {
+                column: "k".into(),
+                rate: 0.5,
+                population_rows: 6,
+            },
+            weights: RowWeights::Uniform(2.0),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        assert!((sum.value - 30.0).abs() < 1e-12);
+        // Key totals 12 and 3: Var = 2·(144+9) = 306 — the per-key
+        // clustering is what inflates join-friendly designs.
+        assert!((sum.variance - 306.0).abs() < 1e-12);
+        assert_eq!(sum.n, 2); // two key-units
+    }
+
+    #[test]
+    fn distinct_poisson_weights() {
+        // Three rows: weights 1 (capped), 1 (capped), 4 (tail at rate 1/4).
+        let s = Sample {
+            table: small_table(&[10.0, 20.0, 8.0], 8),
+            design: SampleDesign::Distinct {
+                columns: vec!["v".into()],
+                cap: 2,
+                rate: 0.25,
+                population_rows: 100,
+            },
+            weights: RowWeights::PerRow(vec![1.0, 1.0, 4.0]),
+        };
+        let sum = s.estimate_sum("v").unwrap();
+        assert!((sum.value - (10.0 + 20.0 + 32.0)).abs() < 1e-12);
+        // Only the tail row contributes variance: 4·3·64 = 768.
+        assert!((sum.variance - 768.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_has_unusable_variance() {
+        let s = Sample {
+            table: small_table(&[], 4),
+            design: SampleDesign::FixedSizeRows {
+                population_rows: 100,
+            },
+            weights: RowWeights::Uniform(1.0),
+        };
+        let e = s.estimate_sum("v").unwrap();
+        assert_eq!(e.value, 0.0);
+        assert_eq!(e.variance, f64::MAX);
+    }
+
+    #[test]
+    fn weighted_table_materialization() {
+        let s = Sample {
+            table: small_table(&[1.0, 2.0], 4),
+            design: SampleDesign::BernoulliRows {
+                rate: 0.25,
+                population_rows: 8,
+            },
+            weights: RowWeights::Uniform(4.0),
+        };
+        let wt = s.to_weighted_table("t_w", "__weight").unwrap();
+        assert_eq!(wt.schema().names(), vec!["v", "__weight"]);
+        assert_eq!(wt.row(0)[1], Value::Float64(4.0));
+        assert_eq!(wt.row_count(), 2);
+    }
+
+    #[test]
+    fn design_metadata() {
+        let d = SampleDesign::BernoulliBlocks {
+            rate: 0.1,
+            population_blocks: 10,
+            population_rows: 100,
+        };
+        assert_eq!(d.name(), "bernoulli-blocks");
+        assert!(!d.scans_everything());
+        let d = SampleDesign::BernoulliRows {
+            rate: 0.1,
+            population_rows: 100,
+        };
+        assert!(d.scans_everything());
+    }
+
+    #[test]
+    fn row_weights_accessors() {
+        assert_eq!(RowWeights::Uniform(3.0).weight(17), 3.0);
+        assert_eq!(RowWeights::PerRow(vec![1.0, 2.0]).weight(1), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod design_property_tests {
+    use super::*;
+    use crate::bernoulli::{bernoulli_blocks, bernoulli_rows};
+    use crate::universe::universe_sample;
+    use aqp_storage::{Field, Schema, TableBuilder};
+    use proptest::prelude::*;
+
+    fn keyed_table(values: &[(i64, f64)], cap: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("p", schema, cap);
+        for &(k, v) in values {
+            b.push_row(&[Value::Int64(k), Value::Float64(v)]).unwrap();
+        }
+        b.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// HT count weights reconstruct the sample's own weighted size:
+        /// Σ 1/π over sampled rows == estimate_count().value for every
+        /// uniform design.
+        #[test]
+        fn weights_consistent_with_count_estimate(
+            values in prop::collection::vec((-100i64..100, -1e4f64..1e4), 1..300),
+            cap in 1usize..32,
+            seed in any::<u64>(),
+        ) {
+            let t = keyed_table(&values, cap);
+            for sample in [
+                bernoulli_rows(&t, 0.3, seed),
+                bernoulli_blocks(&t, 0.3, seed),
+                universe_sample(&t, "k", 0.3, seed).unwrap(),
+            ] {
+                let weight_mass: f64 =
+                    (0..sample.num_rows()).map(|i| sample.weights.weight(i)).sum();
+                let est = sample.estimate_count().value;
+                prop_assert!(
+                    (weight_mass - est).abs() < 1e-6 * (1.0 + est.abs()),
+                    "{}: weight mass {weight_mass} vs estimate {est}",
+                    sample.design.name()
+                );
+            }
+        }
+
+        /// Universe samples of the same table with the same salt are
+        /// identical; with the complementary threshold they partition.
+        #[test]
+        fn universe_determinism(
+            values in prop::collection::vec((0i64..500, 0.0f64..10.0), 1..200),
+            salt in any::<u64>(),
+        ) {
+            let t = keyed_table(&values, 16);
+            let a = universe_sample(&t, "k", 0.4, salt).unwrap();
+            let b = universe_sample(&t, "k", 0.4, salt).unwrap();
+            prop_assert_eq!(a.num_rows(), b.num_rows());
+            prop_assert_eq!(
+                a.table.column_f64("v").unwrap(),
+                b.table.column_f64("v").unwrap()
+            );
+            // A larger rate is a superset (nested samples).
+            let wider = universe_sample(&t, "k", 0.8, salt).unwrap();
+            prop_assert!(wider.num_rows() >= a.num_rows());
+        }
+
+        /// Weighted-table materialization preserves row count and schema.
+        #[test]
+        fn weighted_table_shape(
+            values in prop::collection::vec((0i64..50, -1e3f64..1e3), 1..100),
+            seed in any::<u64>(),
+        ) {
+            let t = keyed_table(&values, 8);
+            let s = bernoulli_rows(&t, 0.5, seed);
+            let wt = s.to_weighted_table("w", "__w").unwrap();
+            prop_assert_eq!(wt.row_count(), s.num_rows());
+            prop_assert_eq!(wt.schema().len(), t.schema().len() + 1);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-size simple random sampling: reservoir sampling over rows, and
+//! SRS over blocks (the `tsm_system_rows` analogue).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use aqp_storage::{Table, TableBuilder};
+
+use crate::design::{RowWeights, Sample, SampleDesign};
+
+/// Algorithm-R reservoir sampling: a uniform simple random sample of
+/// exactly `min(n, rows)` rows, in one pass over the table.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn reservoir_rows(table: &Table, n: usize, seed: u64) -> Sample {
+    assert!(n > 0, "reservoir size must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // The reservoir stores (block, row) coordinates to defer materialization.
+    let mut reservoir: Vec<(usize, usize)> = Vec::with_capacity(n);
+    let mut seen = 0usize;
+    for (bi, block) in table.iter_blocks() {
+        for ri in 0..block.len() {
+            if reservoir.len() < n {
+                reservoir.push((bi, ri));
+            } else {
+                let j = rng.gen_range(0..=seen);
+                if j < n {
+                    reservoir[j] = (bi, ri);
+                }
+            }
+            seen += 1;
+        }
+    }
+    let population = table.row_count();
+    let mut builder = TableBuilder::with_block_capacity(
+        format!("{}__srs_{n}", table.name()),
+        table.schema().as_ref().clone(),
+        table.block_capacity(),
+    );
+    for &(bi, ri) in &reservoir {
+        builder
+            .push_row(&table.block(bi).row(ri))
+            .expect("same schema");
+    }
+    let actual = reservoir.len();
+    Sample {
+        table: builder.finish(),
+        design: SampleDesign::FixedSizeRows {
+            population_rows: population as u64,
+        },
+        weights: RowWeights::Uniform(if actual == 0 {
+            1.0
+        } else {
+            population as f64 / actual as f64
+        }),
+    }
+}
+
+/// Simple random sample of exactly `min(m, blocks)` whole blocks, chosen
+/// without replacement. Selected blocks are shared by reference; rejected
+/// blocks are never read.
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn block_srs(table: &Table, m: usize, seed: u64) -> Sample {
+    assert!(m > 0, "block sample size must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total = table.block_count();
+    let mut indices: Vec<usize> = (0..total).collect();
+    indices.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = indices.into_iter().take(m.min(total)).collect();
+    chosen.sort_unstable(); // preserve storage order for locality
+    let blocks = chosen
+        .iter()
+        .map(|&i| std::sync::Arc::clone(table.block(i)))
+        .collect();
+    let sampled = Table::from_blocks(
+        format!("{}__blocksrs_{m}", table.name()),
+        std::sync::Arc::clone(table.schema()),
+        blocks,
+        table.block_capacity(),
+    );
+    let actual = sampled.block_count();
+    Sample {
+        table: sampled,
+        design: SampleDesign::FixedSizeBlocks {
+            population_blocks: total as u64,
+            population_rows: table.row_count() as u64,
+        },
+        weights: RowWeights::Uniform(if actual == 0 {
+            1.0
+        } else {
+            total as f64 / actual as f64
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_storage::{DataType, Field, Schema, Value};
+
+    fn table(n: usize, cap: usize) -> Table {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float64)]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, cap);
+        for i in 0..n {
+            b.push_row(&[Value::Float64(i as f64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn reservoir_exact_size() {
+        let t = table(10_000, 128);
+        let s = reservoir_rows(&t, 500, 1);
+        assert_eq!(s.num_rows(), 500);
+    }
+
+    #[test]
+    fn reservoir_caps_at_population() {
+        let t = table(10, 4);
+        let s = reservoir_rows(&t, 100, 1);
+        assert_eq!(s.num_rows(), 10);
+        // Census → zero variance.
+        assert_eq!(s.estimate_sum("v").unwrap().variance, 0.0);
+    }
+
+    #[test]
+    fn reservoir_is_uniform() {
+        // Every row should appear with roughly equal frequency across seeds.
+        let t = table(100, 16);
+        let mut counts = vec![0u32; 100];
+        let trials = 2000;
+        for seed in 0..trials {
+            let s = reservoir_rows(&t, 10, seed);
+            for v in s.table.column_f64("v").unwrap() {
+                counts[v as usize] += 1;
+            }
+        }
+        // Expected count = trials * 10 / 100 = 200; allow ±40%.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (120..=280).contains(&c),
+                "row {i} appeared {c} times (expected ~200)"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_estimate_accuracy() {
+        let t = table(10_000, 128);
+        let truth: f64 = t.column_f64("v").unwrap().iter().sum();
+        let s = reservoir_rows(&t, 2000, 3);
+        let e = s.estimate_sum("v").unwrap();
+        // 20% SRS of a uniform 0..10000 sequence: well within 5%.
+        assert!(e.relative_error(truth) < 0.05);
+        // CI at 99% should cover the truth for this seed.
+        assert!(e.ci(0.99).contains(truth));
+    }
+
+    #[test]
+    fn block_srs_exact_block_count() {
+        let t = table(1000, 50); // 20 blocks
+        let s = block_srs(&t, 5, 9);
+        assert_eq!(s.table.block_count(), 5);
+        assert_eq!(s.num_rows(), 250);
+        // Shares Arcs.
+        for sb in s.table.blocks() {
+            assert!(t.blocks().iter().any(|tb| std::sync::Arc::ptr_eq(tb, sb)));
+        }
+    }
+
+    #[test]
+    fn block_srs_caps_at_population() {
+        let t = table(100, 50);
+        let s = block_srs(&t, 10, 0);
+        assert_eq!(s.table.block_count(), 2);
+        assert_eq!(s.estimate_sum("v").unwrap().variance, 0.0); // census fpc
+    }
+
+    #[test]
+    fn block_srs_unbiased_across_seeds() {
+        let t = table(5_000, 50);
+        let truth: f64 = t.column_f64("v").unwrap().iter().sum();
+        let mut total = 0.0;
+        let trials = 300;
+        for seed in 0..trials {
+            total += block_srs(&t, 20, seed).estimate_sum("v").unwrap().value;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - truth).abs() / truth < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_reservoir_rejected() {
+        reservoir_rows(&table(10, 4), 0, 0);
+    }
+}

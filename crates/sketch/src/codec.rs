@@ -1,0 +1,222 @@
+//! Compact binary wire format for the mergeable sketches.
+//!
+//! Sketches earn their keep in distributed aggregation: each shard builds
+//! one, ships it, and a coordinator merges. This module provides a small,
+//! versioned, length-checked binary codec (via `bytes`) for the sketches
+//! that travel most — Count-Min and HyperLogLog — far cheaper on the wire
+//! than a generic serde format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::countmin::CountMinSketch;
+use crate::hll::HyperLogLog;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// Unknown magic byte / sketch tag.
+    BadMagic(u8),
+    /// Unsupported codec version.
+    BadVersion(u8),
+    /// A declared dimension was invalid (zero, oversized, inconsistent).
+    BadDimensions,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "buffer truncated"),
+            Self::BadMagic(m) => write!(f, "unknown sketch tag {m:#04x}"),
+            Self::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            Self::BadDimensions => write!(f, "invalid sketch dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const VERSION: u8 = 1;
+const TAG_COUNT_MIN: u8 = 0xC1;
+const TAG_HLL: u8 = 0xB2;
+
+/// Serializes a Count-Min sketch.
+pub fn encode_count_min(cm: &CountMinSketch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + cm.width() * cm.depth() * 8);
+    buf.put_u8(TAG_COUNT_MIN);
+    buf.put_u8(VERSION);
+    buf.put_u32(cm.width() as u32);
+    buf.put_u32(cm.depth() as u32);
+    buf.put_u64(cm.seed_for_codec());
+    buf.put_u64(cm.total());
+    for &c in cm.counters_for_codec() {
+        buf.put_u64(c);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Count-Min sketch.
+pub fn decode_count_min(mut buf: &[u8]) -> Result<CountMinSketch, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_COUNT_MIN {
+        return Err(CodecError::BadMagic(tag));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    if buf.remaining() < 4 + 4 + 8 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let width = buf.get_u32() as usize;
+    let depth = buf.get_u32() as usize;
+    let seed = buf.get_u64();
+    let total = buf.get_u64();
+    if width == 0 || depth == 0 || width.saturating_mul(depth) > 1 << 28 {
+        return Err(CodecError::BadDimensions);
+    }
+    let cells = width * depth;
+    if buf.remaining() < cells * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut counters = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        counters.push(buf.get_u64());
+    }
+    CountMinSketch::from_codec_parts(width, depth, seed, total, counters)
+        .ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes a HyperLogLog sketch.
+pub fn encode_hll(hll: &HyperLogLog) -> Bytes {
+    let regs = hll.registers_for_codec();
+    let mut buf = BytesMut::with_capacity(4 + regs.len());
+    buf.put_u8(TAG_HLL);
+    buf.put_u8(VERSION);
+    buf.put_u8(hll.precision_for_codec());
+    buf.put_slice(regs);
+    buf.freeze()
+}
+
+/// Deserializes a HyperLogLog sketch.
+pub fn decode_hll(mut buf: &[u8]) -> Result<HyperLogLog, CodecError> {
+    if buf.remaining() < 3 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    if tag != TAG_HLL {
+        return Err(CodecError::BadMagic(tag));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let precision = buf.get_u8();
+    if !(4..=16).contains(&precision) {
+        return Err(CodecError::BadDimensions);
+    }
+    let m = 1usize << precision;
+    if buf.remaining() < m {
+        return Err(CodecError::Truncated);
+    }
+    let mut registers = vec![0u8; m];
+    buf.copy_to_slice(&mut registers);
+    HyperLogLog::from_codec_parts(precision, registers).ok_or(CodecError::BadDimensions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_min_roundtrip() {
+        let mut cm = CountMinSketch::new(128, 4, 9);
+        for i in 0..5000u64 {
+            cm.insert(&(i % 37).to_le_bytes(), 1);
+        }
+        let bytes = encode_count_min(&cm);
+        let back = decode_count_min(&bytes).unwrap();
+        assert_eq!(back, cm);
+        assert_eq!(
+            back.estimate(&5u64.to_le_bytes()),
+            cm.estimate(&5u64.to_le_bytes())
+        );
+    }
+
+    #[test]
+    fn hll_roundtrip() {
+        let mut hll = HyperLogLog::new(12);
+        for i in 0..100_000u64 {
+            hll.insert(&i.to_le_bytes());
+        }
+        let bytes = encode_hll(&hll);
+        let back = decode_hll(&bytes).unwrap();
+        assert_eq!(back, hll);
+        assert_eq!(back.estimate(), hll.estimate());
+    }
+
+    #[test]
+    fn decoded_sketches_still_merge() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        for i in 0..10_000u64 {
+            a.insert(&i.to_le_bytes());
+            b.insert(&(i + 5_000).to_le_bytes());
+        }
+        let mut a2 = decode_hll(&encode_hll(&a)).unwrap();
+        let b2 = decode_hll(&encode_hll(&b)).unwrap();
+        a2.merge(&b2);
+        let est = a2.estimate();
+        assert!((est - 15_000.0).abs() / 15_000.0 < 0.05, "merged est {est}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode_count_min(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode_hll(&[]), Err(CodecError::Truncated));
+        assert!(matches!(
+            decode_count_min(&[0x00, 1, 0, 0]),
+            Err(CodecError::BadMagic(0x00))
+        ));
+        // Right tag, wrong version.
+        assert!(matches!(
+            decode_count_min(&[TAG_COUNT_MIN, 99]),
+            Err(CodecError::BadVersion(99))
+        ));
+        // Truncated payload.
+        let mut cm = CountMinSketch::new(64, 4, 1);
+        cm.insert(b"x", 1);
+        let bytes = encode_count_min(&cm);
+        assert_eq!(
+            decode_count_min(&bytes[..bytes.len() - 8]),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_absurd_dimensions() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_COUNT_MIN);
+        buf.put_u8(VERSION);
+        buf.put_u32(u32::MAX);
+        buf.put_u32(u32::MAX);
+        buf.put_u64(0);
+        buf.put_u64(0);
+        assert_eq!(
+            decode_count_min(&buf.freeze()),
+            Err(CodecError::BadDimensions)
+        );
+    }
+
+    #[test]
+    fn wire_size_is_tight() {
+        let hll = HyperLogLog::new(12);
+        assert_eq!(encode_hll(&hll).len(), 3 + 4096);
+        let cm = CountMinSketch::new(64, 4, 0);
+        assert_eq!(encode_count_min(&cm).len(), 2 + 4 + 4 + 8 + 8 + 64 * 4 * 8);
+    }
+}

@@ -1,0 +1,78 @@
+//! Seeded hashing shared by the sketches.
+//!
+//! Sketch guarantees assume pairwise (or 4-wise) independent hash families;
+//! in practice a well-mixed 64-bit hash re-seeded per row of the sketch is
+//! the standard engineering substitute, and is what we use.
+
+/// Splitmix64/murmur finalizer — full avalanche over 64 bits.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, finalized with [`mix64`].
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Re-hashes a pre-hashed item under a seed (one independent-ish function
+/// per seed).
+#[inline]
+pub fn hash_with_seed(item_hash: u64, seed: u64) -> u64 {
+    mix64(item_hash ^ mix64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// A ±1 value derived from a hash (for Count-Sketch / AMS).
+#[inline]
+pub fn sign_of(h: u64) -> i64 {
+    if h & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_deterministic_and_diffusing() {
+        assert_eq!(mix64(42), mix64(42));
+        // Single-bit input changes flip about half the output bits.
+        let a = mix64(1);
+        let b = mix64(2);
+        let diff = (a ^ b).count_ones();
+        assert!((16..=48).contains(&diff), "diffusion {diff}");
+    }
+
+    #[test]
+    fn hash_bytes_distinguishes() {
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"a"));
+        assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
+    }
+
+    #[test]
+    fn seeded_hashes_are_distinct_functions() {
+        let x = hash_bytes(b"item");
+        assert_ne!(hash_with_seed(x, 0), hash_with_seed(x, 1));
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let n = 10_000;
+        let pos = (0..n)
+            .filter(|&i| sign_of(hash_with_seed(mix64(i), 7)) == 1)
+            .count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "sign balance {frac}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Percentile-bootstrap confidence intervals for arbitrary statistics.
+//!
+//! NSB highlights the bootstrap as the error-estimation technique of choice
+//! for aggregates whose sampling distribution has no closed form (e.g.
+//! quantiles of a sample, or complex expressions over several aggregates).
+//! This module implements the classic nonparametric bootstrap: resample the
+//! observed sample with replacement `replicates` times, recompute the
+//! statistic, and read the interval off the empirical percentiles.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::interval::ConfidenceInterval;
+
+/// Configuration for a bootstrap run.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap replicates (re-computations of the statistic).
+    pub replicates: usize,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            replicates: 1000,
+            seed: 0xB007_57A9,
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for `statistic` evaluated on
+/// `sample`.
+///
+/// `statistic` receives a resampled-with-replacement view of the data each
+/// replicate. The returned interval takes the empirical `(1±confidence)/2`
+/// percentiles of the replicate distribution.
+///
+/// # Panics
+/// Panics if the sample is empty, `replicates == 0`, or `confidence` is
+/// outside (0, 1).
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    confidence: f64,
+    config: BootstrapConfig,
+) -> ConfidenceInterval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!sample.is_empty(), "bootstrap requires a non-empty sample");
+    assert!(
+        config.replicates > 0,
+        "bootstrap requires at least one replicate"
+    );
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = sample.len();
+    let mut resample = vec![0.0f64; n];
+    let mut stats = Vec::with_capacity(config.replicates);
+    for _ in 0..config.replicates {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap statistic produced NaN"));
+    let alpha = (1.0 - confidence) / 2.0;
+    ConfidenceInterval::new(
+        percentile_sorted(&stats, alpha),
+        percentile_sorted(&stats, 1.0 - alpha),
+        confidence,
+    )
+}
+
+/// Linear-interpolated percentile of an already-sorted slice, `p` in [0, 1].
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::distributions::Distribution;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 1.0), 5.0);
+        assert_eq!(percentile_sorted(&xs, 0.5), 3.0);
+        assert_eq!(percentile_sorted(&xs, 0.25), 2.0);
+        assert!((percentile_sorted(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile_sorted(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    fn bootstrap_mean_interval_contains_sample_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let ci = bootstrap_ci(&xs, mean, 0.95, BootstrapConfig::default());
+        assert!(ci.contains(mean(&xs)));
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cfg = BootstrapConfig {
+            replicates: 200,
+            seed: 7,
+        };
+        let a = bootstrap_ci(&xs, mean, 0.9, cfg);
+        let b = bootstrap_ci(&xs, mean, 0.9, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_width_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..50).map(|i| (i % 17) as f64).collect();
+        let large: Vec<f64> = (0..5000).map(|i| (i % 17) as f64).collect();
+        let cfg = BootstrapConfig::default();
+        let ws = bootstrap_ci(&small, mean, 0.95, cfg).width();
+        let wl = bootstrap_ci(&large, mean, 0.95, cfg).width();
+        assert!(wl < ws);
+    }
+
+    #[test]
+    fn bootstrap_coverage_close_to_nominal() {
+        // Normal(10, 2²) population; bootstrap 95% CI for the mean should
+        // cover ~95% of the time. Allow slack for 200 trials.
+        let normal = rand::distributions::Uniform::new(0.0f64, 1.0);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut hits = 0;
+        let trials = 200;
+        for t in 0..trials {
+            // Sum of 12 uniforms − 6 ≈ N(0,1).
+            let sample: Vec<f64> = (0..60)
+                .map(|_| {
+                    let z: f64 = (0..12).map(|_| normal.sample(&mut rng)).sum::<f64>() - 6.0;
+                    10.0 + 2.0 * z
+                })
+                .collect();
+            let ci = bootstrap_ci(
+                &sample,
+                mean,
+                0.95,
+                BootstrapConfig {
+                    replicates: 400,
+                    seed: t,
+                },
+            );
+            if ci.contains(10.0) {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / trials as f64;
+        assert!(coverage > 0.85, "bootstrap coverage too low: {coverage}");
+    }
+
+    #[test]
+    fn bootstrap_nonlinear_statistic() {
+        // Median of a skewed sample: percentile bootstrap still brackets it.
+        let xs: Vec<f64> = (1..=101).map(|i| (i as f64).powi(2)).collect();
+        let median = |s: &[f64]| {
+            let mut v = s.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile_sorted(&v, 0.5)
+        };
+        let ci = bootstrap_ci(&xs, median, 0.95, BootstrapConfig::default());
+        assert!(ci.contains(51.0 * 51.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sample")]
+    fn bootstrap_rejects_empty() {
+        bootstrap_ci(&[], mean, 0.95, BootstrapConfig::default());
+    }
+}

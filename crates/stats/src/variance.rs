@@ -1,0 +1,405 @@
+//! Design-based variance estimators for the sampling designs the AQP layers
+//! use: simple random sampling, Bernoulli sampling, stratified sampling, and
+//! cluster (block) sampling.
+//!
+//! Each function consumes sample-level statistics and returns an
+//! [`Estimate`] whose variance field is the *estimator's* variance, ready to
+//! be turned into a CLT interval. The formulas are the classical ones from
+//! survey sampling (Cochran), which is exactly the machinery the AQP systems
+//! NSB surveys rely on.
+
+use crate::estimate::Estimate;
+use crate::moments::Moments;
+
+/// Simple-random-sampling (without replacement) estimator of the population
+/// mean, with finite-population correction.
+///
+/// `sample` holds the observed values; `population_size` is N.
+pub fn srs_mean(sample: &Moments, population_size: u64) -> Estimate {
+    let n = sample.count();
+    assert!(n >= 2, "SRS mean needs at least 2 observations, got {n}");
+    assert!(
+        population_size >= n,
+        "population must be at least the sample"
+    );
+    let fpc = 1.0 - n as f64 / population_size as f64;
+    Estimate::new(sample.mean(), fpc * sample.variance() / n as f64, n)
+}
+
+/// SRS estimator of the population total: `N · ȳ`.
+pub fn srs_total(sample: &Moments, population_size: u64) -> Estimate {
+    srs_mean(sample, population_size).scale(population_size as f64)
+}
+
+/// Horvitz–Thompson estimator of the population SUM under Bernoulli(q) row
+/// sampling: `Σ_{i∈S} x_i / q`, with unbiased variance estimate
+/// `(1−q)/q² · Σ_{i∈S} x_i²`.
+///
+/// `sum_x` and `sum_x2` are the sample's Σx and Σx²; `n` its size.
+pub fn bernoulli_sum(sum_x: f64, sum_x2: f64, n: u64, q: f64) -> Estimate {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "sampling rate must be in (0,1], got {q}"
+    );
+    let value = sum_x / q;
+    let variance = (1.0 - q) / (q * q) * sum_x2;
+    Estimate::new(value, variance.max(0.0), n)
+}
+
+/// Horvitz–Thompson estimator of the population COUNT under Bernoulli(q):
+/// `n/q`, with variance estimate `(1−q)/q² · n`.
+pub fn bernoulli_count(n: u64, q: f64) -> Estimate {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "sampling rate must be in (0,1], got {q}"
+    );
+    let value = n as f64 / q;
+    let variance = (1.0 - q) / (q * q) * n as f64;
+    Estimate::new(value, variance, n)
+}
+
+/// Ratio estimator of the population AVG under Bernoulli(q): `Σx/n` with the
+/// delta-method variance for SUM/COUNT including their covariance
+/// `Cov ≈ (1−q)/q² · Σ_{i∈S} x_i`.
+pub fn bernoulli_avg(sum_x: f64, sum_x2: f64, n: u64, q: f64) -> Estimate {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "sampling rate must be in (0,1], got {q}"
+    );
+    if n == 0 {
+        return Estimate::new(0.0, f64::MAX, 0);
+    }
+    let num = bernoulli_sum(sum_x, sum_x2, n, q);
+    let den = bernoulli_count(n, q);
+    let cov = (1.0 - q) / (q * q) * sum_x;
+    num.ratio(&den, cov)
+}
+
+/// One stratum's contribution to a stratified estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct Stratum {
+    /// Stratum population size N_h.
+    pub population_size: u64,
+    /// Sample moments observed inside the stratum.
+    pub sample: Moments,
+}
+
+/// Stratified estimator of the population mean:
+/// `ȳ_st = Σ_h W_h ȳ_h` with `Var = Σ_h W_h² (1 − f_h) s_h²/n_h`.
+///
+/// Strata with a single sampled row contribute zero estimated variance
+/// (their variance is unobservable); strata with zero sampled rows are
+/// skipped in the value but make the estimate *biased* — callers should use
+/// coverage accounting to detect that.
+pub fn stratified_mean(strata: &[Stratum]) -> Estimate {
+    assert!(
+        !strata.is_empty(),
+        "stratified_mean requires at least one stratum"
+    );
+    let total_n: u64 = strata.iter().map(|s| s.population_size).sum();
+    assert!(total_n > 0, "population must be non-empty");
+    let mut value = 0.0;
+    let mut variance = 0.0;
+    let mut units = 0u64;
+    for s in strata {
+        let w = s.population_size as f64 / total_n as f64;
+        let n = s.sample.count();
+        if n == 0 {
+            continue; // missed stratum: bias, reported via coverage elsewhere
+        }
+        value += w * s.sample.mean();
+        units += n;
+        if n >= 2 {
+            let fpc = 1.0 - n as f64 / s.population_size as f64;
+            variance += w * w * fpc.max(0.0) * s.sample.variance() / n as f64;
+        }
+    }
+    Estimate::new(value, variance, units)
+}
+
+/// Stratified estimator of the population total.
+pub fn stratified_total(strata: &[Stratum]) -> Estimate {
+    let total_n: u64 = strata.iter().map(|s| s.population_size).sum();
+    stratified_mean(strata).scale(total_n as f64)
+}
+
+/// Neyman allocation: given per-stratum sizes and standard deviations,
+/// splits a total budget of `n` sampled rows to minimize the variance of the
+/// stratified mean: `n_h ∝ N_h σ_h`.
+///
+/// Returns one allocation per stratum (each at least 1 when the budget
+/// allows, capped at the stratum size).
+pub fn neyman_allocation(sizes: &[u64], std_devs: &[f64], budget: u64) -> Vec<u64> {
+    assert_eq!(
+        sizes.len(),
+        std_devs.len(),
+        "sizes/std_devs length mismatch"
+    );
+    assert!(!sizes.is_empty(), "need at least one stratum");
+    let weights: Vec<f64> = sizes
+        .iter()
+        .zip(std_devs)
+        .map(|(&n, &s)| n as f64 * s.max(0.0))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut alloc: Vec<u64> = if total <= 0.0 {
+        // Degenerate: fall back to proportional.
+        let pop: u64 = sizes.iter().sum();
+        sizes
+            .iter()
+            .map(|&n| ((n as f64 / pop as f64) * budget as f64).round() as u64)
+            .collect()
+    } else {
+        weights
+            .iter()
+            .map(|w| ((w / total) * budget as f64).round() as u64)
+            .collect()
+    };
+    for (a, &n) in alloc.iter_mut().zip(sizes) {
+        *a = (*a).clamp(u64::from(n > 0), n);
+    }
+    alloc
+}
+
+/// Cluster (block) sampling estimator of the population total from an SRS of
+/// `m` blocks out of `num_blocks`: `T̂ = M/m Σ t_j` with
+/// `Var = M² (1 − m/M) s_t²/m`, where `t_j` are block totals.
+///
+/// This is the estimator behind `TABLESAMPLE SYSTEM`-style block sampling;
+/// the sampling unit is the *block*, so n is the number of blocks.
+pub fn cluster_total(block_totals: &Moments, num_blocks: u64) -> Estimate {
+    let m = block_totals.count();
+    assert!(
+        m >= 2,
+        "cluster_total needs at least 2 sampled blocks, got {m}"
+    );
+    assert!(
+        num_blocks >= m,
+        "num_blocks must be at least the sampled count"
+    );
+    let big_m = num_blocks as f64;
+    let value = big_m * block_totals.mean();
+    let fpc = 1.0 - m as f64 / big_m;
+    let variance = big_m * big_m * fpc * block_totals.variance() / m as f64;
+    Estimate::new(value, variance.max(0.0), m)
+}
+
+/// Cluster (block) sampling ratio estimator of the population mean:
+/// `ȳ = Σ t_j / Σ c_j` over sampled blocks (block totals over block counts),
+/// with the standard cluster ratio variance
+/// `Var(ȳ) ≈ (1−f)/(m·c̄²) · s²_{t − ȳc}`.
+///
+/// `block_totals[j]` and `block_counts[j]` must be aligned per block.
+pub fn cluster_mean(block_totals: &[f64], block_counts: &[f64], num_blocks: u64) -> Estimate {
+    assert_eq!(block_totals.len(), block_counts.len(), "blocks misaligned");
+    let m = block_totals.len();
+    assert!(
+        m >= 2,
+        "cluster_mean needs at least 2 sampled blocks, got {m}"
+    );
+    let sum_t: f64 = block_totals.iter().sum();
+    let sum_c: f64 = block_counts.iter().sum();
+    assert!(sum_c > 0.0, "sampled blocks contain no rows");
+    let ybar = sum_t / sum_c;
+    let cbar = sum_c / m as f64;
+    // Residual variance of t_j − ȳ·c_j.
+    let mut resid = Moments::new();
+    for (t, c) in block_totals.iter().zip(block_counts) {
+        resid.push(t - ybar * c);
+    }
+    let f = m as f64 / num_blocks as f64;
+    let variance = (1.0 - f).max(0.0) * resid.variance() / (m as f64 * cbar * cbar);
+    Estimate::new(ybar, variance.max(0.0), m as u64)
+}
+
+/// The design effect of cluster sampling relative to SRS at equal row
+/// budget: `deff = 1 + (b̄ − 1)·ρ`, where `b̄` is the mean block size and `ρ`
+/// the intra-class correlation. NSB's block-vs-row statistical-efficiency
+/// discussion is exactly this quantity.
+pub fn design_effect(mean_block_size: f64, intraclass_corr: f64) -> f64 {
+    assert!(mean_block_size >= 1.0, "block size must be at least 1");
+    assert!(
+        (-1.0..=1.0).contains(&intraclass_corr),
+        "intraclass correlation must be in [-1,1]"
+    );
+    (1.0 + (mean_block_size - 1.0) * intraclass_corr).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srs_mean_with_fpc() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let e = srs_mean(&m, 10);
+        assert!((e.value - 3.0).abs() < 1e-12);
+        // s² = 2.5, fpc = 0.5, var = 0.5*2.5/5 = 0.25.
+        assert!((e.variance - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srs_census_has_zero_variance() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let e = srs_mean(&m, 3);
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    fn srs_total_scales() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let e = srs_total(&m, 10);
+        assert!((e.value - 30.0).abs() < 1e-12);
+        assert!((e.variance - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_sum_unbiased_scaling() {
+        let e = bernoulli_sum(50.0, 600.0, 10, 0.1);
+        assert!((e.value - 500.0).abs() < 1e-12);
+        // (0.9/0.01)*600 = 54000.
+        assert!((e.variance - 54_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_full_rate_is_exact() {
+        let e = bernoulli_sum(50.0, 600.0, 10, 1.0);
+        assert_eq!(e.value, 50.0);
+        assert_eq!(e.variance, 0.0);
+        let c = bernoulli_count(10, 1.0);
+        assert_eq!(c.value, 10.0);
+        assert_eq!(c.variance, 0.0);
+    }
+
+    #[test]
+    fn bernoulli_count_scaling() {
+        let e = bernoulli_count(100, 0.01);
+        assert!((e.value - 10_000.0).abs() < 1e-9);
+        assert!(e.variance > 0.0);
+    }
+
+    #[test]
+    fn bernoulli_avg_is_sample_mean() {
+        // Ratio estimator point value = Σx / n regardless of q.
+        let e = bernoulli_avg(50.0, 600.0, 10, 0.1);
+        assert!((e.value - 5.0).abs() < 1e-12);
+        // Positive correlation between num and den should make the AVG far
+        // tighter than the SUM in relative terms.
+        assert!(e.relative_std_err() < bernoulli_sum(50.0, 600.0, 10, 0.1).relative_std_err());
+    }
+
+    #[test]
+    fn bernoulli_avg_empty_sample() {
+        let e = bernoulli_avg(0.0, 0.0, 0, 0.1);
+        assert_eq!(e.variance, f64::MAX);
+    }
+
+    #[test]
+    fn stratified_mean_exact_weighting() {
+        // Two strata: sizes 80/20, means 10/100.
+        let strata = [
+            Stratum {
+                population_size: 80,
+                sample: Moments::from_slice(&[9.0, 10.0, 11.0]),
+            },
+            Stratum {
+                population_size: 20,
+                sample: Moments::from_slice(&[99.0, 100.0, 101.0]),
+            },
+        ];
+        let e = stratified_mean(&strata);
+        assert!((e.value - (0.8 * 10.0 + 0.2 * 100.0)).abs() < 1e-12);
+        assert!(e.variance > 0.0);
+    }
+
+    #[test]
+    fn stratified_beats_srs_on_segregated_data() {
+        // When strata separate the variance, stratified variance << pooled.
+        let s1: Vec<f64> = (0..50).map(|i| 10.0 + (i % 3) as f64).collect();
+        let s2: Vec<f64> = (0..50).map(|i| 1000.0 + (i % 3) as f64).collect();
+        let strata = [
+            Stratum {
+                population_size: 5000,
+                sample: Moments::from_slice(&s1),
+            },
+            Stratum {
+                population_size: 5000,
+                sample: Moments::from_slice(&s2),
+            },
+        ];
+        let strat = stratified_mean(&strata);
+        let pooled: Vec<f64> = s1.iter().chain(&s2).copied().collect();
+        let srs = srs_mean(&Moments::from_slice(&pooled), 10_000);
+        assert!(strat.variance < srs.variance / 100.0);
+    }
+
+    #[test]
+    fn stratified_skips_empty_stratum() {
+        let strata = [
+            Stratum {
+                population_size: 50,
+                sample: Moments::from_slice(&[1.0, 2.0]),
+            },
+            Stratum {
+                population_size: 50,
+                sample: Moments::new(),
+            },
+        ];
+        let e = stratified_mean(&strata);
+        // Only the observed stratum contributes: biased toward it.
+        assert!((e.value - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neyman_allocation_prefers_variable_strata() {
+        let alloc = neyman_allocation(&[1000, 1000], &[1.0, 9.0], 100);
+        assert_eq!(alloc.iter().sum::<u64>(), 100);
+        assert!(alloc[1] > alloc[0] * 5);
+    }
+
+    #[test]
+    fn neyman_allocation_caps_at_stratum_size() {
+        let alloc = neyman_allocation(&[5, 1000], &[100.0, 1.0], 100);
+        assert!(alloc[0] <= 5);
+    }
+
+    #[test]
+    fn neyman_degenerate_falls_back_to_proportional() {
+        let alloc = neyman_allocation(&[300, 700], &[0.0, 0.0], 100);
+        assert_eq!(alloc, vec![30, 70]);
+    }
+
+    #[test]
+    fn cluster_total_scaling() {
+        let m = Moments::from_slice(&[10.0, 12.0, 8.0, 10.0]);
+        let e = cluster_total(&m, 100);
+        assert!((e.value - 1000.0).abs() < 1e-9);
+        assert!(e.variance > 0.0);
+        assert_eq!(e.n, 4);
+    }
+
+    #[test]
+    fn cluster_mean_ratio_estimator() {
+        let totals = [20.0, 30.0, 25.0];
+        let counts = [10.0, 15.0, 12.0];
+        let e = cluster_mean(&totals, &counts, 50);
+        assert!((e.value - 75.0 / 37.0).abs() < 1e-12);
+        assert!(e.variance >= 0.0);
+    }
+
+    #[test]
+    fn cluster_mean_homogeneous_blocks_low_variance() {
+        // Every block has identical mean 2.0: residuals vanish.
+        let totals = [20.0, 30.0, 24.0];
+        let counts = [10.0, 15.0, 12.0];
+        let e = cluster_mean(&totals, &counts, 50);
+        assert!(e.variance < 1e-20);
+    }
+
+    #[test]
+    fn design_effect_extremes() {
+        assert!((design_effect(10.0, 0.0) - 1.0).abs() < 1e-15);
+        assert!((design_effect(10.0, 1.0) - 10.0).abs() < 1e-15);
+        assert_eq!(design_effect(10.0, -1.0), 0.0); // clamped at 0
+    }
+}

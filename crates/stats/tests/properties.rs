@@ -1,0 +1,131 @@
+//! Property-based tests for the statistical foundations: distribution
+//! identities, planner monotonicity, and estimator algebra.
+
+use proptest::prelude::*;
+
+use aqp_stats::bounds::{
+    chebyshev_sample_size, clt_relative_sample_size, group_miss_probability, hoeffding_bound,
+    hoeffding_sample_size,
+};
+use aqp_stats::{ChiSquared, Estimate, Normal, StudentT};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Φ is monotone and Φ⁻¹ inverts it.
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-6f64..(1.0 - 1e-6)) {
+        let x = Normal::quantile(p);
+        let back = Normal::cdf(x);
+        prop_assert!((back - p).abs() < 1e-8, "p={p} x={x} back={back}");
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, d in 1e-6f64..4.0) {
+        prop_assert!(Normal::cdf(a + d) >= Normal::cdf(a));
+    }
+
+    /// Student-t is symmetric: F(−x) = 1 − F(x).
+    #[test]
+    fn t_symmetry(df in 1.0f64..200.0, x in 0.0f64..20.0) {
+        let t = StudentT::new(df);
+        prop_assert!((t.cdf(-x) - (1.0 - t.cdf(x))).abs() < 1e-10);
+    }
+
+    /// Student-t quantiles dominate normal quantiles in the upper tail
+    /// (heavier tails), approaching them as df grows.
+    #[test]
+    fn t_dominates_normal(df in 1.0f64..500.0, p in 0.51f64..0.999) {
+        let t = StudentT::new(df);
+        prop_assert!(t.quantile(p) >= Normal::quantile(p) - 1e-9);
+    }
+
+    /// χ² CDF/quantile round-trip.
+    #[test]
+    fn chi2_roundtrip(df in 0.5f64..200.0, p in 1e-4f64..0.9999) {
+        let c = ChiSquared::new(df);
+        let x = c.quantile(p);
+        prop_assert!(x > 0.0);
+        prop_assert!((c.cdf(x) - p).abs() < 1e-7, "df={df} p={p} x={x}");
+    }
+
+    /// Hoeffding sample size achieves its own bound and is monotone.
+    #[test]
+    fn hoeffding_planner_consistency(
+        eps in 0.001f64..0.3,
+        delta in 0.001f64..0.3,
+        width in 0.1f64..100.0,
+    ) {
+        let n = hoeffding_sample_size((0.0, width), eps, delta);
+        prop_assert!(hoeffding_bound(n, (0.0, width), eps) <= delta + 1e-12);
+        // Tighter eps needs more samples.
+        let n_tighter = hoeffding_sample_size((0.0, width), eps / 2.0, delta);
+        prop_assert!(n_tighter >= n);
+        // Wider data needs more samples.
+        let n_wider = hoeffding_sample_size((0.0, width * 2.0), eps, delta);
+        prop_assert!(n_wider >= n);
+    }
+
+    /// CLT planner is monotone in cv and eps, and never beats 1 sample.
+    #[test]
+    fn clt_planner_monotone(cv in 0.0f64..10.0, eps in 0.005f64..0.5) {
+        let n = clt_relative_sample_size(cv, eps, 0.95);
+        prop_assert!(n >= 1);
+        prop_assert!(clt_relative_sample_size(cv * 2.0, eps, 0.95) >= n);
+        prop_assert!(clt_relative_sample_size(cv, eps / 2.0, 0.95) >= n);
+        prop_assert!(clt_relative_sample_size(cv, eps, 0.99) >= n);
+    }
+
+    /// Chebyshev is never tighter than CLT for the same inputs (it is
+    /// distribution-free, so it must pay).
+    #[test]
+    fn chebyshev_weaker_than_clt(var in 0.01f64..100.0, eps in 0.01f64..1.0) {
+        let cheb = chebyshev_sample_size(var, eps, 0.05);
+        let clt = aqp_stats::bounds::clt_sample_size(var, eps, 0.95);
+        prop_assert!(cheb >= clt);
+    }
+
+    /// Group miss probability is monotone in both arguments.
+    #[test]
+    fn miss_probability_monotone(size in 1u64..10_000, q in 0.0f64..1.0) {
+        let p = group_miss_probability(size, q);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(group_miss_probability(size + 1, q) <= p + 1e-15);
+        if q < 0.99 {
+            prop_assert!(group_miss_probability(size, (q + 0.01).min(1.0)) <= p + 1e-15);
+        }
+    }
+
+    /// Estimator algebra: scaling and independent addition compose the way
+    /// variances must.
+    #[test]
+    fn estimate_algebra(
+        v1 in -1e6f64..1e6,
+        var1 in 0.0f64..1e6,
+        v2 in -1e6f64..1e6,
+        var2 in 0.0f64..1e6,
+        c in -100.0f64..100.0,
+    ) {
+        let a = Estimate::new(v1, var1, 100);
+        let b = Estimate::new(v2, var2, 100);
+        let s = a.add_independent(&b);
+        prop_assert!((s.value - (v1 + v2)).abs() < 1e-9 * (1.0 + v1.abs() + v2.abs()));
+        prop_assert!((s.variance - (var1 + var2)).abs() < 1e-9 * (1.0 + var1 + var2));
+        let sc = a.scale(c);
+        prop_assert!((sc.variance - var1 * c * c).abs() < 1e-9 * (1.0 + var1 * c * c));
+        // CIs widen with confidence.
+        if var1 > 0.0 {
+            prop_assert!(a.ci(0.99).width() >= a.ci(0.9).width());
+        }
+    }
+
+    /// A CLT interval always contains its own point estimate, and the
+    /// width scales with the standard error.
+    #[test]
+    fn ci_contains_center(v in -1e9f64..1e9, var in 0.0f64..1e12, n in 2u64..1_000_000) {
+        let e = Estimate::new(v, var, n);
+        let ci = e.ci(0.95);
+        prop_assert!(ci.contains(v));
+        prop_assert!((ci.midpoint() - v).abs() <= 1e-6 * (1.0 + v.abs()));
+    }
+}

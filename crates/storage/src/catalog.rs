@@ -1,0 +1,159 @@
+//! A thread-safe catalog mapping table names to tables.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+use crate::table::Table;
+
+/// A concurrent name → table map. Readers (query executors) take a shared
+/// lock; writers (loads, appends) take an exclusive one.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table under its own name.
+    ///
+    /// Errors if the name is taken.
+    pub fn register(&self, table: Table) -> Result<Arc<Table>, StorageError> {
+        let mut tables = self.tables.write();
+        let name = table.name().to_string();
+        if tables.contains_key(&name) {
+            return Err(StorageError::TableExists { name });
+        }
+        let arc = Arc::new(table);
+        tables.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replaces (or inserts) a table, returning the previous version if any.
+    /// This is the "data update" path the offline-synopsis staleness
+    /// experiments exercise.
+    pub fn replace(&self, table: Table) -> Option<Arc<Table>> {
+        let mut tables = self.tables.write();
+        tables.insert(table.name().to_string(), Arc::new(table))
+    }
+
+    /// Looks up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Removes a table, returning it if present.
+    pub fn remove(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.write().remove(name)
+    }
+
+    /// All registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::{DataType, Value};
+
+    fn table(name: &str, rows: i64) -> Table {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
+        let mut b = TableBuilder::new(name, schema);
+        for i in 0..rows {
+            b.push_row(&[Value::Int64(i)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(table("a", 3)).unwrap();
+        assert_eq!(c.get("a").unwrap().row_count(), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table_names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let c = Catalog::new();
+        c.register(table("a", 1)).unwrap();
+        assert!(matches!(
+            c.register(table("a", 2)),
+            Err(StorageError::TableExists { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_swaps_versions() {
+        let c = Catalog::new();
+        c.register(table("a", 1)).unwrap();
+        let old = c.replace(table("a", 5)).unwrap();
+        assert_eq!(old.row_count(), 1);
+        assert_eq!(c.get("a").unwrap().row_count(), 5);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.get("nope"),
+            Err(StorageError::TableNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_returns_table() {
+        let c = Catalog::new();
+        c.register(table("a", 2)).unwrap();
+        assert_eq!(c.remove("a").unwrap().row_count(), 2);
+        assert!(c.remove("a").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let c = Arc::new(Catalog::new());
+        c.register(table("a", 100)).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(c.get("a").unwrap().row_count(), 100);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Typed columnar vectors with optional validity (NULL) masks.
+
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::value::{DataType, Value};
+
+/// A typed column of values.
+///
+/// Each variant holds a dense data vector plus an optional validity mask;
+/// `None` means every slot is valid (the common case, kept mask-free so scan
+/// kernels stay branch-light).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64 {
+        /// Dense values (slot content is unspecified where invalid).
+        data: Vec<i64>,
+        /// `true` = valid; `None` = all valid.
+        validity: Option<Vec<bool>>,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Dense values.
+        data: Vec<f64>,
+        /// Validity mask.
+        validity: Option<Vec<bool>>,
+    },
+    /// UTF-8 strings (cheaply clonable).
+    Str {
+        /// Dense values.
+        data: Vec<Arc<str>>,
+        /// Validity mask.
+        validity: Option<Vec<bool>>,
+    },
+    /// Booleans.
+    Bool {
+        /// Dense values.
+        data: Vec<bool>,
+        /// Validity mask.
+        validity: Option<Vec<bool>>,
+    },
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        Self::with_capacity(data_type, 0)
+    }
+
+    /// Creates an empty column with reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        match data_type {
+            DataType::Int64 => Column::Int64 {
+                data: Vec::with_capacity(capacity),
+                validity: None,
+            },
+            DataType::Float64 => Column::Float64 {
+                data: Vec::with_capacity(capacity),
+                validity: None,
+            },
+            DataType::Str => Column::Str {
+                data: Vec::with_capacity(capacity),
+                validity: None,
+            },
+            DataType::Bool => Column::Bool {
+                data: Vec::with_capacity(capacity),
+                validity: None,
+            },
+        }
+    }
+
+    /// Builds an all-valid column from `i64` values.
+    pub fn from_i64(data: Vec<i64>) -> Self {
+        Column::Int64 {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Builds an all-valid column from `f64` values.
+    pub fn from_f64(data: Vec<f64>) -> Self {
+        Column::Float64 {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Builds an all-valid column from strings.
+    pub fn from_str_values<S: AsRef<str>>(data: impl IntoIterator<Item = S>) -> Self {
+        Column::Str {
+            data: data.into_iter().map(|s| Arc::from(s.as_ref())).collect(),
+            validity: None,
+        }
+    }
+
+    /// Builds an all-valid column from booleans.
+    pub fn from_bool(data: Vec<bool>) -> Self {
+        Column::Bool {
+            data,
+            validity: None,
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Str { .. } => DataType::Str,
+            Column::Bool { .. } => DataType::Bool,
+        }
+    }
+
+    /// Number of slots (valid or not).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { data, .. } => data.len(),
+            Column::Float64 { data, .. } => data.len(),
+            Column::Str { data, .. } => data.len(),
+            Column::Bool { data, .. } => data.len(),
+        }
+    }
+
+    /// Whether the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validity(&self) -> &Option<Vec<bool>> {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity,
+        }
+    }
+
+    fn validity_mut(&mut self) -> &mut Option<Vec<bool>> {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity,
+        }
+    }
+
+    /// Whether slot `i` holds NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self.validity() {
+            Some(mask) => !mask[i],
+            None => false,
+        }
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        match self.validity() {
+            Some(mask) => mask.iter().filter(|&&v| !v).count(),
+            None => 0,
+        }
+    }
+
+    /// Appends a value, checking its type against the column's.
+    ///
+    /// Integers coerce into float columns (the one implicit widening SQL
+    /// engines universally allow); all other mismatches error.
+    pub fn push(&mut self, value: &Value) -> Result<(), StorageError> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let mismatch = |col: &Column| StorageError::TypeMismatch {
+            column: String::new(),
+            expected: col.data_type(),
+            actual: value.data_type().expect("non-null checked above"),
+        };
+        match self {
+            Column::Int64 { data, validity } => {
+                let v = value.as_i64().ok_or_else(|| {
+                    mismatch(&Column::Int64 {
+                        data: vec![],
+                        validity: None,
+                    })
+                })?;
+                data.push(v);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            Column::Float64 { data, validity } => {
+                let v = value.as_f64().ok_or_else(|| {
+                    mismatch(&Column::Float64 {
+                        data: vec![],
+                        validity: None,
+                    })
+                })?;
+                data.push(v);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            Column::Str { data, validity } => match value {
+                Value::Str(s) => {
+                    data.push(Arc::clone(s));
+                    if let Some(mask) = validity {
+                        mask.push(true);
+                    }
+                }
+                _ => {
+                    return Err(mismatch(&Column::Str {
+                        data: vec![],
+                        validity: None,
+                    }))
+                }
+            },
+            Column::Bool { data, validity } => match value {
+                Value::Bool(b) => {
+                    data.push(*b);
+                    if let Some(mask) = validity {
+                        mask.push(true);
+                    }
+                }
+                _ => {
+                    return Err(mismatch(&Column::Bool {
+                        data: vec![],
+                        validity: None,
+                    }))
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Appends a NULL slot.
+    pub fn push_null(&mut self) {
+        let len = self.len();
+        // Materialize the mask lazily on first NULL.
+        if self.validity().is_none() {
+            *self.validity_mut() = Some(vec![true; len]);
+        }
+        match self {
+            Column::Int64 { data, .. } => data.push(0),
+            Column::Float64 { data, .. } => data.push(0.0),
+            Column::Str { data, .. } => data.push(Arc::from("")),
+            Column::Bool { data, .. } => data.push(false),
+        }
+        self.validity_mut()
+            .as_mut()
+            .expect("mask materialized above")
+            .push(false);
+    }
+
+    /// The value at slot `i` (NULL-aware).
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { data, .. } => Value::Int64(data[i]),
+            Column::Float64 { data, .. } => Value::Float64(data[i]),
+            Column::Str { data, .. } => Value::Str(Arc::clone(&data[i])),
+            Column::Bool { data, .. } => Value::Bool(data[i]),
+        }
+    }
+
+    /// Numeric view of slot `i`: `None` for NULL or non-numeric columns.
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match self {
+            Column::Int64 { data, .. } => Some(data[i] as f64),
+            Column::Float64 { data, .. } => Some(data[i]),
+            Column::Bool { data, .. } => Some(if data[i] { 1.0 } else { 0.0 }),
+            Column::Str { .. } => None,
+        }
+    }
+
+    /// Gathers the slots at `indices` into a new column.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let mut out = Column::with_capacity(self.data_type(), indices.len());
+        for &i in indices {
+            if self.is_null(i) {
+                out.push_null();
+            } else {
+                out.push(&self.get(i)).expect("same type by construction");
+            }
+        }
+        out
+    }
+
+    /// Appends all slots of `other` (same type) onto `self`.
+    ///
+    /// # Panics
+    /// Panics on type mismatch — concatenation happens strictly between
+    /// columns of one schema.
+    pub fn append(&mut self, other: &Column) {
+        assert_eq!(
+            self.data_type(),
+            other.data_type(),
+            "append requires matching column types"
+        );
+        for i in 0..other.len() {
+            if other.is_null(i) {
+                self.push_null();
+            } else {
+                self.push(&other.get(i)).expect("types match");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::new(DataType::Int64);
+        c.push(&Value::Int64(1)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int64(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int64(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int64(3));
+        assert!(c.is_null(1));
+        assert!(!c.is_null(0));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::new(DataType::Float64);
+        c.push(&Value::Int64(2)).unwrap();
+        assert_eq!(c.get(0), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let mut c = Column::new(DataType::Int64);
+        assert!(c.push(&Value::str("x")).is_err());
+        let mut c = Column::new(DataType::Str);
+        assert!(c.push(&Value::Int64(1)).is_err());
+        let mut c = Column::new(DataType::Bool);
+        assert!(c.push(&Value::Float64(0.0)).is_err());
+    }
+
+    #[test]
+    fn f64_view() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert_eq!(c.f64_at(0), Some(1.0));
+        let c = Column::from_bool(vec![true, false]);
+        assert_eq!(c.f64_at(0), Some(1.0));
+        assert_eq!(c.f64_at(1), Some(0.0));
+        let c = Column::from_str_values(["a"]);
+        assert_eq!(c.f64_at(0), None);
+        let mut c = Column::new(DataType::Float64);
+        c.push_null();
+        assert_eq!(c.f64_at(0), None);
+    }
+
+    #[test]
+    fn lazy_validity_mask() {
+        let mut c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.null_count(), 0);
+        c.push_null();
+        assert_eq!(c.null_count(), 1);
+        assert!(!c.is_null(0));
+        assert!(c.is_null(3));
+    }
+
+    #[test]
+    fn take_gathers_with_nulls() {
+        let mut c = Column::new(DataType::Str);
+        c.push(&Value::str("a")).unwrap();
+        c.push_null();
+        c.push(&Value::str("c")).unwrap();
+        let t = c.take(&[2, 1, 0, 0]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0), Value::str("c"));
+        assert_eq!(t.get(1), Value::Null);
+        assert_eq!(t.get(2), Value::str("a"));
+        assert_eq!(t.get(3), Value::str("a"));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Column::from_i64(vec![1, 2]);
+        let mut b = Column::from_i64(vec![3]);
+        b.push_null();
+        a.append(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(2), Value::Int64(3));
+        assert_eq!(a.get(3), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching column types")]
+    fn append_rejects_mismatch() {
+        let mut a = Column::from_i64(vec![1]);
+        a.append(&Column::from_bool(vec![true]));
+    }
+
+    #[test]
+    fn builders() {
+        assert_eq!(Column::from_f64(vec![1.5]).get(0), Value::Float64(1.5));
+        assert_eq!(
+            Column::from_str_values(vec!["x", "y"]).get(1),
+            Value::str("y")
+        );
+        assert_eq!(Column::with_capacity(DataType::Bool, 10).len(), 0);
+        assert!(Column::new(DataType::Int64).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Storage error type.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced column name does not exist in the schema.
+    ColumnNotFound {
+        /// The missing column's name.
+        name: String,
+    },
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Declared type.
+        expected: DataType,
+        /// Type actually supplied.
+        actual: DataType,
+    },
+    /// A NULL was supplied for a non-nullable column.
+    NullViolation {
+        /// Column name.
+        column: String,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of fields the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// The named table already exists in the catalog.
+    TableExists {
+        /// Table name.
+        name: String,
+    },
+    /// The named table does not exist in the catalog.
+    TableNotFound {
+        /// Table name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnNotFound { name } => write!(f, "column not found: {name}"),
+            Self::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for column {column}: expected {expected:?}, got {actual:?}"
+            ),
+            Self::NullViolation { column } => {
+                write!(f, "NULL supplied for non-nullable column {column}")
+            }
+            Self::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} fields, row has {actual}"
+                )
+            }
+            Self::TableExists { name } => write!(f, "table already exists: {name}"),
+            Self::TableNotFound { name } => write!(f, "table not found: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::ColumnNotFound {
+            name: "x".to_string(),
+        };
+        assert_eq!(e.to_string(), "column not found: x");
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("3 fields"));
+        let e = StorageError::TypeMismatch {
+            column: "c".into(),
+            expected: DataType::Int64,
+            actual: DataType::Float64,
+        };
+        assert!(e.to_string().contains("Int64"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Tables: sequences of fixed-capacity blocks, plus the builder that seals
+//! blocks as they fill.
+
+use std::sync::Arc;
+
+use crate::block::Block;
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Default number of rows per block — the same order of magnitude as rows
+/// per page in row stores and per row-group stripe in column stores, so
+/// block-sampling experiments exercise realistic block counts.
+pub const DEFAULT_BLOCK_CAPACITY: usize = 1024;
+
+/// An immutable block-structured table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    blocks: Vec<Arc<Block>>,
+    /// Starting global row id of each block (parallel to `blocks`).
+    offsets: Vec<usize>,
+    block_capacity: usize,
+    row_count: usize,
+}
+
+impl Table {
+    /// Assembles a table directly from existing blocks — the zero-copy path
+    /// block sampling uses: a block sample of a table is just a subset of
+    /// its `Arc<Block>`s, so non-sampled blocks are never touched.
+    ///
+    /// # Panics
+    /// Panics if any block's schema differs from `schema`.
+    pub fn from_blocks(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        blocks: Vec<Arc<Block>>,
+        block_capacity: usize,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(blocks.len());
+        let mut row_count = 0;
+        for b in &blocks {
+            assert_eq!(
+                b.schema().as_ref(),
+                schema.as_ref(),
+                "block schema mismatch in from_blocks"
+            );
+            offsets.push(row_count);
+            row_count += b.len();
+        }
+        Self {
+            name: name.into(),
+            schema,
+            blocks,
+            offsets,
+            block_capacity,
+            row_count,
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total row count.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block-capacity the builder used (actual blocks may be shorter at
+    /// the tail).
+    pub fn block_capacity(&self) -> usize {
+        self.block_capacity
+    }
+
+    /// The blocks, in storage order.
+    pub fn blocks(&self) -> &[Arc<Block>] {
+        &self.blocks
+    }
+
+    /// Block at index.
+    pub fn block(&self, index: usize) -> &Arc<Block> {
+        &self.blocks[index]
+    }
+
+    /// Materializes row `i` (global row id) as values. O(log #blocks) via
+    /// binary search over block offsets (blocks may have uneven lengths
+    /// when the table was assembled from a block sample).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        let (b, r) = self.locate_row(i);
+        self.blocks[b].row(r)
+    }
+
+    /// Maps a global row id to `(block index, offset within block)`.
+    pub fn locate_row(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.row_count, "row index {i} out of bounds");
+        let b = match self.offsets.binary_search(&i) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        (b, i - self.offsets[b])
+    }
+
+    /// Iterates over `(block_index, block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, &Arc<Block>)> {
+        self.blocks.iter().enumerate()
+    }
+
+    /// Collects an entire column across blocks as `f64` values, skipping
+    /// NULLs. Convenience for ground-truth computations in tests and
+    /// experiments.
+    pub fn column_f64(&self, name: &str) -> Result<Vec<f64>, StorageError> {
+        let idx = self.schema.index_of(name)?;
+        let mut out = Vec::with_capacity(self.row_count);
+        for block in &self.blocks {
+            let col = block.column(idx);
+            for i in 0..col.len() {
+                if let Some(v) = col.f64_at(i) {
+                    out.push(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Approximate in-memory footprint in bytes (data vectors only).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        for block in &self.blocks {
+            for col in block.columns() {
+                total += match col {
+                    Column::Int64 { data, .. } => data.len() * 8,
+                    Column::Float64 { data, .. } => data.len() * 8,
+                    Column::Bool { data, .. } => data.len(),
+                    Column::Str { data, .. } => data.iter().map(|s| s.len() + 16).sum::<usize>(),
+                };
+            }
+        }
+        total
+    }
+}
+
+/// Builds a [`Table`] row by row, sealing a block whenever it reaches the
+/// configured capacity.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Arc<Schema>,
+    blocks: Vec<Arc<Block>>,
+    current: Block,
+    block_capacity: usize,
+    row_count: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder with the default block capacity.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self::with_block_capacity(name, schema, DEFAULT_BLOCK_CAPACITY)
+    }
+
+    /// Starts a builder with an explicit block capacity.
+    ///
+    /// # Panics
+    /// Panics if `block_capacity == 0`.
+    pub fn with_block_capacity(
+        name: impl Into<String>,
+        schema: Schema,
+        block_capacity: usize,
+    ) -> Self {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        let schema = Arc::new(schema);
+        Self {
+            name: name.into(),
+            schema: Arc::clone(&schema),
+            blocks: Vec::new(),
+            current: Block::with_capacity(schema, block_capacity),
+            block_capacity,
+            row_count: 0,
+        }
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Rows appended so far.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), StorageError> {
+        self.current.push_row(row)?;
+        self.row_count += 1;
+        if self.current.len() == self.block_capacity {
+            let sealed = std::mem::replace(
+                &mut self.current,
+                Block::with_capacity(Arc::clone(&self.schema), self.block_capacity),
+            );
+            self.blocks.push(Arc::new(sealed));
+        }
+        Ok(())
+    }
+
+    /// Appends many rows.
+    pub fn push_rows<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = &'a [Value]>,
+    ) -> Result<(), StorageError> {
+        for row in rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current partial block immediately (no-op when empty).
+    /// Samplers use this to preserve source-block boundaries in a sampled
+    /// table, so block-design estimators can group rows correctly.
+    pub fn seal_block(&mut self) {
+        if !self.current.is_empty() {
+            let sealed = std::mem::replace(
+                &mut self.current,
+                Block::with_capacity(Arc::clone(&self.schema), self.block_capacity),
+            );
+            self.blocks.push(Arc::new(sealed));
+        }
+    }
+
+    /// Seals the final partial block and produces the immutable table.
+    pub fn finish(mut self) -> Table {
+        if !self.current.is_empty() {
+            self.blocks.push(Arc::new(self.current));
+        }
+        Table::from_blocks(self.name, self.schema, self.blocks, self.block_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn build(n: usize, cap: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, cap);
+        for i in 0..n {
+            b.push_row(&[Value::Int64(i as i64), Value::Float64(i as f64 * 2.0)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn blocks_seal_at_capacity() {
+        let t = build(10, 4);
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.block_count(), 3); // 4 + 4 + 2
+        assert_eq!(t.block(0).len(), 4);
+        assert_eq!(t.block(2).len(), 2);
+        assert_eq!(t.block_capacity(), 4);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_block() {
+        let t = build(8, 4);
+        assert_eq!(t.block_count(), 2);
+        assert!(t.blocks().iter().all(|b| b.len() == 4));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = build(0, 4);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.block_count(), 0);
+    }
+
+    #[test]
+    fn global_row_lookup() {
+        let t = build(10, 4);
+        assert_eq!(t.row(0)[0], Value::Int64(0));
+        assert_eq!(t.row(5)[0], Value::Int64(5)); // second block, offset 1
+        assert_eq!(t.row(9)[1], Value::Float64(18.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        build(3, 4).row(3);
+    }
+
+    #[test]
+    fn column_f64_skips_nulls() {
+        let schema = Schema::new(vec![Field::nullable("v", DataType::Float64)]);
+        let mut b = TableBuilder::with_block_capacity("t", schema, 2);
+        b.push_row(&[Value::Float64(1.0)]).unwrap();
+        b.push_row(&[Value::Null]).unwrap();
+        b.push_row(&[Value::Float64(3.0)]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.column_f64("v").unwrap(), vec![1.0, 3.0]);
+        assert!(t.column_f64("missing").is_err());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows() {
+        assert!(build(1000, 128).approx_bytes() > build(10, 128).approx_bytes());
+    }
+
+    #[test]
+    fn push_rows_bulk() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
+        let mut b = TableBuilder::new("t", schema);
+        let rows: Vec<Vec<Value>> = (0..5).map(|i| vec![Value::Int64(i)]).collect();
+        b.push_rows(rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(b.row_count(), 5);
+        assert_eq!(b.finish().row_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        TableBuilder::with_block_capacity(
+            "t",
+            Schema::new(vec![Field::new("id", DataType::Int64)]),
+            0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod from_blocks_tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    #[test]
+    fn uneven_blocks_row_lookup() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64)]));
+        let mk = |vals: &[i64]| {
+            let mut b = Block::new(Arc::clone(&schema));
+            for &v in vals {
+                b.push_row(&[Value::Int64(v)]).unwrap();
+            }
+            Arc::new(b)
+        };
+        let t = Table::from_blocks(
+            "s",
+            Arc::clone(&schema),
+            vec![mk(&[1, 2, 3]), mk(&[4]), mk(&[5, 6])],
+            4,
+        );
+        assert_eq!(t.row_count(), 6);
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(t.row(0)[0], Value::Int64(1));
+        assert_eq!(t.row(3)[0], Value::Int64(4));
+        assert_eq!(t.row(4)[0], Value::Int64(5));
+        assert_eq!(t.row(5)[0], Value::Int64(6));
+        assert_eq!(t.locate_row(4), (2, 0));
+    }
+
+    #[test]
+    fn from_blocks_shares_arcs() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64)]));
+        let mut b = Block::new(Arc::clone(&schema));
+        b.push_row(&[Value::Int64(1)]).unwrap();
+        let block = Arc::new(b);
+        let t = Table::from_blocks("s", schema, vec![Arc::clone(&block)], 1);
+        assert!(Arc::ptr_eq(&block, t.block(0)));
+    }
+
+    #[test]
+    fn empty_from_blocks() {
+        let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64)]));
+        let t = Table::from_blocks("s", schema, vec![], 8);
+        assert_eq!(t.row_count(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! A TPC-H-flavoured star schema at laptop scale.
+//!
+//! Four tables — `lineitem` (fact), `orders`, `customer`, `part`
+//! (dimensions) — with the foreign-key structure, value skew, and
+//! categorical columns that the workload generator and the join
+//! experiments need. Row counts are configurable through [`StarScale`];
+//! the defaults produce a few hundred thousand fact rows, which keeps the
+//! *relative* economics of the paper's experiments (scan-bound aggregates,
+//! selective predicates, FK joins) while building in seconds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use aqp_storage::{Catalog, DataType, Field, Schema, StorageError, TableBuilder, Value};
+
+use crate::zipf::Zipf;
+
+/// Scale knobs for the star schema.
+#[derive(Debug, Clone, Copy)]
+pub struct StarScale {
+    /// Rows in `customer`.
+    pub customers: usize,
+    /// Rows in `part`.
+    pub parts: usize,
+    /// Rows in `orders`.
+    pub orders: usize,
+    /// Maximum line items per order (uniform 1..=max).
+    pub max_lines_per_order: usize,
+    /// Zipf exponent for part popularity in `lineitem`.
+    pub part_skew: f64,
+    /// Zipf exponent for customer activity in `orders`.
+    pub customer_skew: f64,
+    /// Block capacity for all generated tables.
+    pub block_capacity: usize,
+}
+
+impl StarScale {
+    /// A small default: ~200k fact rows, builds in a couple of seconds.
+    pub fn small() -> Self {
+        Self {
+            customers: 10_000,
+            parts: 2_000,
+            orders: 50_000,
+            max_lines_per_order: 7,
+            part_skew: 1.0,
+            customer_skew: 0.8,
+            block_capacity: 1024,
+        }
+    }
+
+    /// A tiny scale for unit tests (a few thousand fact rows).
+    pub fn tiny() -> Self {
+        Self {
+            customers: 300,
+            parts: 50,
+            orders: 1_000,
+            max_lines_per_order: 4,
+            part_skew: 1.0,
+            customer_skew: 0.8,
+            block_capacity: 128,
+        }
+    }
+}
+
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const PRIORITIES: [&str; 3] = ["HIGH", "MEDIUM", "LOW"];
+const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const BRANDS: usize = 25;
+const CATEGORIES: usize = 10;
+
+/// Generates and registers `customer`, `part`, `orders`, and `lineitem`
+/// into the catalog. Returns the fact-table row count.
+pub fn build_star_schema(
+    catalog: &Catalog,
+    scale: &StarScale,
+    seed: u64,
+) -> Result<usize, StorageError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // customer
+    let schema = Schema::new(vec![
+        Field::new("c_key", DataType::Int64),
+        Field::new("c_segment", DataType::Str),
+        Field::new("c_region", DataType::Str),
+        Field::new("c_balance", DataType::Float64),
+    ]);
+    let mut b = TableBuilder::with_block_capacity("customer", schema, scale.block_capacity);
+    for i in 0..scale.customers {
+        b.push_row(&[
+            Value::Int64(i as i64),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            Value::str(REGIONS[rng.gen_range(0..REGIONS.len())]),
+            Value::Float64(rng.gen_range(-1000.0..10_000.0)),
+        ])?;
+    }
+    catalog.register(b.finish())?;
+
+    // part
+    let schema = Schema::new(vec![
+        Field::new("p_key", DataType::Int64),
+        Field::new("p_brand", DataType::Str),
+        Field::new("p_category", DataType::Str),
+        Field::new("p_price", DataType::Float64),
+    ]);
+    let mut b = TableBuilder::with_block_capacity("part", schema, scale.block_capacity);
+    for i in 0..scale.parts {
+        b.push_row(&[
+            Value::Int64(i as i64),
+            Value::str(format!("Brand#{:02}", i % BRANDS)),
+            Value::str(format!("CAT#{:02}", i % CATEGORIES)),
+            Value::Float64(rng.gen_range(1.0..2000.0)),
+        ])?;
+    }
+    catalog.register(b.finish())?;
+
+    // orders
+    let mut cust_zipf = Zipf::new(scale.customers, scale.customer_skew, seed ^ 0x0DD5);
+    let schema = Schema::new(vec![
+        Field::new("o_key", DataType::Int64),
+        Field::new("o_custkey", DataType::Int64),
+        Field::new("o_month", DataType::Int64),
+        Field::new("o_priority", DataType::Str),
+    ]);
+    let mut b = TableBuilder::with_block_capacity("orders", schema, scale.block_capacity);
+    let mut order_custkeys = Vec::with_capacity(scale.orders);
+    for i in 0..scale.orders {
+        let ck = cust_zipf.sample() as i64;
+        order_custkeys.push(ck);
+        b.push_row(&[
+            Value::Int64(i as i64),
+            Value::Int64(ck),
+            Value::Int64(rng.gen_range(1..=12)),
+            Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+        ])?;
+    }
+    catalog.register(b.finish())?;
+
+    // lineitem
+    let mut part_zipf = Zipf::new(scale.parts, scale.part_skew, seed ^ 0x11AE);
+    let schema = Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int64),
+        Field::new("l_partkey", DataType::Int64),
+        Field::new("l_quantity", DataType::Float64),
+        Field::new("l_price", DataType::Float64),
+        Field::new("l_discount", DataType::Float64),
+        Field::new("l_shipmode", DataType::Str),
+        Field::new("l_sel", DataType::Float64),
+    ]);
+    let mut b = TableBuilder::with_block_capacity("lineitem", schema, scale.block_capacity);
+    let mut fact_rows = 0usize;
+    for o in 0..scale.orders {
+        let lines = rng.gen_range(1..=scale.max_lines_per_order);
+        for _ in 0..lines {
+            let quantity = rng.gen_range(1.0f64..50.0).round();
+            b.push_row(&[
+                Value::Int64(o as i64),
+                Value::Int64(part_zipf.sample() as i64),
+                Value::Float64(quantity),
+                Value::Float64(quantity * rng.gen_range(1.0..100.0)),
+                Value::Float64(rng.gen_range(0.0..0.1)),
+                Value::str(SHIPMODES[rng.gen_range(0..SHIPMODES.len())]),
+                Value::Float64(rng.gen::<f64>()),
+            ])?;
+            fact_rows += 1;
+        }
+    }
+    catalog.register(b.finish())?;
+    Ok(fact_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_engine::{execute, AggExpr, Query};
+    use aqp_expr::{col, lit};
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        build_star_schema(&c, &StarScale::tiny(), 7).unwrap();
+        c
+    }
+
+    #[test]
+    fn all_tables_registered() {
+        let c = catalog();
+        assert_eq!(
+            c.table_names(),
+            vec!["customer", "lineitem", "orders", "part"]
+        );
+        assert_eq!(c.get("customer").unwrap().row_count(), 300);
+        assert_eq!(c.get("orders").unwrap().row_count(), 1000);
+        let li = c.get("lineitem").unwrap().row_count();
+        assert!((1000..=4000).contains(&li));
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        // Every lineitem joins to exactly one order; join cardinality =
+        // lineitem cardinality.
+        let c = catalog();
+        let li = c.get("lineitem").unwrap().row_count();
+        let r = execute(
+            &Query::scan("lineitem")
+                .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+                .aggregate(vec![], vec![AggExpr::count_star("n")])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(), Value::Int64(li as i64));
+    }
+
+    #[test]
+    fn two_hop_join_to_customer() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("orders")
+                .join(Query::scan("customer"), col("o_custkey"), col("c_key"))
+                .aggregate(vec![], vec![AggExpr::count_star("n")])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(r.scalar(), Value::Int64(1000));
+    }
+
+    #[test]
+    fn part_popularity_skewed() {
+        let c = catalog();
+        let r = execute(
+            &Query::scan("lineitem")
+                .aggregate(
+                    vec![(col("l_partkey"), "p".to_string())],
+                    vec![AggExpr::count_star("n")],
+                )
+                .build(),
+            &c,
+        )
+        .unwrap();
+        let counts = r.column_f64("n").unwrap();
+        let max = counts.iter().copied().fold(0.0f64, f64::max);
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "part skew too weak: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn selectivity_handle_works() {
+        let c = catalog();
+        let total = c.get("lineitem").unwrap().row_count() as f64;
+        let r = execute(
+            &Query::scan("lineitem")
+                .filter(col("l_sel").lt(lit(0.25)))
+                .aggregate(vec![], vec![AggExpr::count_star("n")])
+                .build(),
+            &c,
+        )
+        .unwrap();
+        let n = match r.scalar() {
+            Value::Int64(n) => n as f64,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!((n / total - 0.25).abs() < 0.05, "selectivity {}", n / total);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Catalog::new();
+        build_star_schema(&a, &StarScale::tiny(), 42).unwrap();
+        let b = Catalog::new();
+        build_star_schema(&b, &StarScale::tiny(), 42).unwrap();
+        assert_eq!(
+            a.get("lineitem").unwrap().column_f64("l_price").unwrap(),
+            b.get("lineitem").unwrap().column_f64("l_price").unwrap()
+        );
+    }
+}

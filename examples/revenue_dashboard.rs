@@ -1,0 +1,106 @@
+//! A BI-dashboard scenario over the star schema: grouped revenue queries
+//! with joins, answered three ways — exactly, by query-time sampling, and
+//! from an offline stratified synopsis — showing the trade-offs NSB maps.
+//!
+//! ```sh
+//! cargo run --release -p aqp-bench --example revenue_dashboard
+//! ```
+
+use aqp_core::{AggQuery, ErrorSpec, OfflineStore, OnlineAqp, OnlineConfig};
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::Catalog;
+use aqp_workload::{build_star_schema, StarScale};
+
+fn main() {
+    let catalog = Catalog::new();
+    println!("building star schema (lineitem/orders/customer/part) ...");
+    let scale = StarScale {
+        orders: 150_000,
+        ..StarScale::small()
+    };
+    let fact_rows = build_star_schema(&catalog, &scale, 1).unwrap();
+    println!("fact table: {fact_rows} lineitem rows\n");
+
+    // Dashboard tile 1: revenue by ship mode (single-table group-by).
+    let by_shipmode = Query::scan("lineitem")
+        .aggregate(
+            vec![(col("l_shipmode"), "mode".to_string())],
+            vec![AggExpr::sum(col("l_price"), "revenue")],
+        )
+        .build();
+
+    // Dashboard tile 2: revenue by order priority (needs the join).
+    let by_priority = Query::scan("lineitem")
+        .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+        .filter(col("l_discount").lt(lit(0.05)))
+        .aggregate(
+            vec![(col("o_priority"), "priority".to_string())],
+            vec![
+                AggExpr::sum(col("l_price"), "revenue"),
+                AggExpr::avg(col("l_quantity"), "avg_qty"),
+            ],
+        )
+        .build();
+
+    let spec = ErrorSpec::new(0.05, 0.95);
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+
+    // Offline path: a stratified sample pre-built on the anticipated
+    // grouping column.
+    let offline = OfflineStore::new();
+    offline
+        .build_stratified(&catalog, "lineitem", "l_shipmode", 20_000, 5)
+        .unwrap();
+
+    for (name, plan) in [
+        ("revenue by ship mode", &by_shipmode),
+        ("revenue by priority (join)", &by_priority),
+    ] {
+        println!("=== {name} ===");
+        let start = std::time::Instant::now();
+        let exact = execute(plan, &catalog).unwrap();
+        let exact_wall = start.elapsed();
+        println!(
+            "exact: {} groups in {exact_wall:?} ({} rows scanned)",
+            exact.num_rows(),
+            exact.stats().rows_scanned
+        );
+
+        let ans = aqp.answer_plan(plan, &spec, 9).unwrap();
+        println!(
+            "online AQP ({:?}): {} groups in {:?}, touched {:.2}% of the data",
+            ans.report.path,
+            ans.groups.len(),
+            ans.report.wall,
+            100.0 * ans.report.touched_fraction(),
+        );
+        for (row, g) in exact.rows().iter().zip(&ans.groups) {
+            let truth = row[exact.rows()[0].len() - 2].as_f64().unwrap_or(0.0);
+            let _ = truth;
+            let key = &g.key[0];
+            let est = &g.estimates[0];
+            let ci = &g.intervals[0];
+            println!(
+                "  {key:<10} revenue ≈ {:>14.2}  ±{:>6.2}%",
+                est.value,
+                100.0 * ci.relative_half_width(),
+            );
+        }
+
+        // The offline synopsis can serve the single-table tile instantly,
+        // but must decline the join — NSB's generality boundary.
+        if let Some(q) = AggQuery::from_plan(plan) {
+            match offline.answer(&q, &spec) {
+                Ok(off) => println!(
+                    "offline synopsis: {} groups from {} pre-built rows in {:?}",
+                    off.groups.len(),
+                    off.report.rows_touched,
+                    off.report.wall,
+                ),
+                Err(e) => println!("offline synopsis: declined ({e})"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,228 @@
+//! Property-based tests for cross-crate invariants: estimator identities,
+//! sketch merge semantics, and sampling-design consistency, driven by
+//! proptest-generated data.
+
+use proptest::prelude::*;
+
+use aqp_sampling::{bernoulli_blocks, bernoulli_rows, reservoir_rows};
+use aqp_sketch::{CountMinSketch, GkQuantiles, HyperLogLog, KmvSketch};
+use aqp_stats::Moments;
+use aqp_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+
+fn table_from(values: &[f64], block_cap: usize) -> Table {
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]);
+    let mut b = TableBuilder::with_block_capacity("p", schema, block_cap);
+    for &v in values {
+        b.push_row(&[Value::Float64(v)]).unwrap();
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sampling at rate 1 is the identity: the estimate equals the truth
+    /// with zero variance, for both row and block designs.
+    #[test]
+    fn full_rate_sampling_is_exact(
+        values in prop::collection::vec(-1e6f64..1e6, 1..300),
+        cap in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let t = table_from(&values, cap);
+        let truth: f64 = values.iter().sum();
+        for sample in [bernoulli_rows(&t, 1.0, seed), bernoulli_blocks(&t, 1.0, seed)] {
+            let e = sample.estimate_sum("v").unwrap();
+            prop_assert!((e.value - truth).abs() <= 1e-9 * truth.abs().max(1.0));
+            prop_assert_eq!(e.variance, 0.0);
+        }
+    }
+
+    /// A reservoir of size ≥ population is a census: exact estimates.
+    #[test]
+    fn oversized_reservoir_is_census(
+        values in prop::collection::vec(-1e5f64..1e5, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let t = table_from(&values, 32);
+        let s = reservoir_rows(&t, values.len() + 10, seed);
+        let truth: f64 = values.iter().sum();
+        let e = s.estimate_sum("v").unwrap();
+        prop_assert!((e.value - truth).abs() <= 1e-9 * truth.abs().max(1.0));
+        prop_assert_eq!(e.variance, 0.0);
+    }
+
+    /// Moments merge is associative-equivalent to sequential accumulation.
+    #[test]
+    fn moments_merge_consistency(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..400),
+        split in 1usize..399,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let whole = Moments::from_slice(&xs);
+        let merged = Moments::from_slice(&xs[..split]).merge(&Moments::from_slice(&xs[split..]));
+        prop_assert!((whole.mean() - merged.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((whole.variance() - merged.variance()).abs()
+            < 1e-6 * whole.variance().abs().max(1.0));
+        prop_assert_eq!(whole.count(), merged.count());
+    }
+
+    /// Count-Min never underestimates, and merging two sketches equals
+    /// sketching the concatenated stream.
+    #[test]
+    fn count_min_invariants(
+        items in prop::collection::vec(0u64..64, 1..500),
+    ) {
+        let mut whole = CountMinSketch::new(32, 4, 5);
+        let mut left = CountMinSketch::new(32, 4, 5);
+        let mut right = CountMinSketch::new(32, 4, 5);
+        let mut truth = std::collections::HashMap::new();
+        for (i, &item) in items.iter().enumerate() {
+            whole.insert(&item.to_le_bytes(), 1);
+            if i % 2 == 0 {
+                left.insert(&item.to_le_bytes(), 1);
+            } else {
+                right.insert(&item.to_le_bytes(), 1);
+            }
+            *truth.entry(item).or_insert(0u64) += 1;
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        for (&item, &count) in &truth {
+            prop_assert!(whole.estimate(&item.to_le_bytes()) >= count);
+        }
+    }
+
+    /// HLL merge is a set union: merging with a subset changes nothing,
+    /// and merge order does not matter.
+    #[test]
+    fn hll_merge_semantics(
+        a in prop::collection::vec(any::<u64>(), 1..300),
+        b in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let sketch_of = |items: &[u64]| {
+            let mut h = HyperLogLog::new(10);
+            for &x in items {
+                h.insert(&x.to_le_bytes());
+            }
+            h
+        };
+        let ha = sketch_of(&a);
+        let hb = sketch_of(&b);
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        let mut self_merge = ha.clone();
+        self_merge.merge(&ha);
+        prop_assert_eq!(&self_merge, &ha);
+    }
+
+    /// KMV is insertion-order independent.
+    #[test]
+    fn kmv_order_independent(
+        mut items in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let forward = {
+            let mut s = KmvSketch::new(64);
+            for &x in &items {
+                s.insert(&x.to_le_bytes());
+            }
+            s
+        };
+        items.reverse();
+        let backward = {
+            let mut s = KmvSketch::new(64);
+            for &x in &items {
+                s.insert(&x.to_le_bytes());
+            }
+            s
+        };
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// GK quantiles are sandwiched by the exact order statistics at
+    /// rank ± 2εn.
+    #[test]
+    fn gk_rank_error_bounded(
+        values in prop::collection::vec(-1e9f64..1e9, 20..800),
+        phi in 0.05f64..0.95,
+    ) {
+        let mut gk = GkQuantiles::new(0.05);
+        for &v in &values {
+            gk.insert(v);
+        }
+        let q = gk.query(phi).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        let margin = (2.0 * 0.05 * n).ceil() as usize + 1;
+        let target = (phi * n).ceil() as usize;
+        let lo_rank = target.saturating_sub(margin + 1);
+        let hi_rank = (target + margin).min(sorted.len() - 1);
+        prop_assert!(
+            q >= sorted[lo_rank] && q <= sorted[hi_rank],
+            "quantile {} outside sandwich [{}, {}]",
+            q, sorted[lo_rank], sorted[hi_rank]
+        );
+    }
+
+    /// The HT count estimate is scale-consistent: estimated population
+    /// count from a row sample stays within Chernoff-style bounds.
+    #[test]
+    fn ht_count_concentrates(
+        n in 2_000usize..6_000,
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = table_from(&values, 128);
+        let s = bernoulli_rows(&t, 0.2, seed);
+        let est = s.estimate_count();
+        // 0.2-rate Bernoulli on ≥2000 rows: 6 sigma ≈ 6·sqrt(n·0.8/0.2).
+        let sigma = (n as f64 * (1.0 - 0.2) / 0.2).sqrt();
+        prop_assert!(
+            (est.value - n as f64).abs() < 6.0 * sigma,
+            "count estimate {} vs {} (sigma {})",
+            est.value, n, sigma
+        );
+    }
+}
+
+/// Non-proptest cross-crate check: every estimator path (sampler API,
+/// engine rewrite, online planner) agrees on a census (rate-1) input.
+#[test]
+fn census_consistency_across_paths() {
+    use aqp_core::{ErrorSpec, OnlineAqp, OnlineConfig};
+    use aqp_engine::{execute, AggExpr, Query};
+    use aqp_expr::col;
+    use aqp_storage::Catalog;
+
+    let values: Vec<f64> = (0..5000).map(|i| (i % 83) as f64).collect();
+    let truth: f64 = values.iter().sum();
+    let t = table_from(&values, 64);
+    let catalog = Catalog::new();
+    catalog.register(t.clone()).unwrap();
+
+    // Path 1: sampler at rate 1.
+    let s = bernoulli_blocks(&t, 1.0, 0);
+    assert_eq!(s.estimate_sum("v").unwrap().value, truth);
+
+    // Path 2: exact engine.
+    let plan = Query::scan("p")
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    assert_eq!(
+        execute(&plan, &catalog).unwrap().rows()[0][0]
+            .as_f64()
+            .unwrap(),
+        truth
+    );
+
+    // Path 3: online AQP (must match within its 1% spec; it may sample).
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let ans = aqp
+        .answer_plan(&plan, &ErrorSpec::new(0.01, 0.95), 1)
+        .unwrap();
+    assert!(ans.scalar_estimate("s").unwrap().relative_error(truth) <= 0.01);
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration: the full pipeline — workload generator → star
+//! schema → online AQP planner → answers — checked against exact
+//! execution for both correctness and the error contract.
+
+use aqp_core::{ErrorSpec, ExecutionPath, OnlineAqp, OnlineConfig};
+use aqp_engine::{execute, AggExpr, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::{Catalog, Value};
+use aqp_workload::{build_star_schema, generate_workload, StarScale, WorkloadConfig};
+
+fn star() -> Catalog {
+    let catalog = Catalog::new();
+    build_star_schema(&catalog, &StarScale::small(), 21).unwrap();
+    catalog
+}
+
+#[test]
+fn generated_workload_answers_match_exact_within_spec() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let spec = ErrorSpec::new(0.10, 0.95);
+    let workload = generate_workload(&WorkloadConfig {
+        num_queries: 25,
+        seed: 5,
+        drift: 0.5,
+        join_fraction: 0.4,
+        group_by_fraction: 0.4,
+    });
+    let mut violations = 0u32;
+    let mut checked = 0u32;
+    for q in &workload {
+        let exact = execute(&q.plan, &catalog).unwrap();
+        let ans = aqp.answer_plan(&q.plan, &spec, 33).unwrap();
+        if ans.report.path == ExecutionPath::Exact {
+            continue; // the planner declined; exactness is trivially right
+        }
+        let key_len = ans.group_by.len();
+        for row in exact.rows() {
+            let truth = row[key_len].as_f64().unwrap_or(0.0);
+            if truth == 0.0 {
+                continue;
+            }
+            // Skip groups absent from the sample (not covered by contract).
+            let Some(g) = ans.group(&row[..key_len]) else {
+                continue;
+            };
+            checked += 1;
+            if g.estimates[0].relative_error(truth) > spec.relative_error {
+                violations += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "too few estimates checked: {checked}");
+    // 95% confidence jointly; allow a modest violation margin for the
+    // per-group tail.
+    assert!(
+        f64::from(violations) / f64::from(checked) < 0.10,
+        "{violations}/{checked} estimates violated the spec"
+    );
+}
+
+#[test]
+fn approximate_answers_touch_less_data() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let plan = Query::scan("lineitem")
+        .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+        .build();
+    let ans = aqp
+        .answer_plan(&plan, &ErrorSpec::new(0.08, 0.9), 3)
+        .unwrap();
+    assert!(matches!(
+        ans.report.path,
+        ExecutionPath::OnlineBlockSample { .. }
+    ));
+    assert!(
+        ans.report.touched_fraction() < 0.6,
+        "approximation should skip data; touched {:.2}",
+        ans.report.touched_fraction()
+    );
+}
+
+#[test]
+fn exact_and_aqp_agree_on_group_sets_for_common_groups() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let plan = Query::scan("lineitem")
+        .aggregate(
+            vec![(col("l_shipmode"), "mode".to_string())],
+            vec![AggExpr::count_star("n")],
+        )
+        .build();
+    let exact = execute(&plan, &catalog).unwrap();
+    let ans = aqp
+        .answer_plan(&plan, &ErrorSpec::new(0.1, 0.9), 8)
+        .unwrap();
+    // All 7 ship modes are large; every one must be present and ordered.
+    assert_eq!(ans.groups.len(), exact.num_rows());
+    for (row, g) in exact.rows().iter().zip(&ans.groups) {
+        assert_eq!(row[0], g.key[0], "group order must be deterministic");
+    }
+}
+
+#[test]
+fn intervals_cover_truth_at_nominal_rate() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let plan = Query::scan("lineitem")
+        .filter(col("l_sel").lt(lit(0.4)))
+        .aggregate(vec![], vec![AggExpr::avg(col("l_price"), "a")])
+        .build();
+    let truth = execute(&plan, &catalog).unwrap().rows()[0][0]
+        .as_f64()
+        .unwrap();
+    let mut covered = 0;
+    let trials = 25;
+    for seed in 0..trials {
+        let ans = aqp
+            .answer_plan(&plan, &ErrorSpec::new(0.05, 0.9), seed)
+            .unwrap();
+        if let ExecutionPath::OnlineBlockSample { .. } = ans.report.path {
+            if ans.global().intervals[0].contains(truth) {
+                covered += 1;
+            }
+        } else {
+            covered += 1; // exact trivially covers
+        }
+    }
+    assert!(covered >= 22, "coverage {covered}/{trials} below nominal");
+}
+
+#[test]
+fn nonlinear_aggregates_stay_exact_and_correct() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let plan = Query::scan("lineitem")
+        .aggregate(
+            vec![],
+            vec![
+                AggExpr::min(col("l_price"), "lo"),
+                AggExpr::max(col("l_price"), "hi"),
+                AggExpr::count_distinct(col("l_shipmode"), "modes"),
+            ],
+        )
+        .build();
+    let exact = execute(&plan, &catalog).unwrap();
+    let ans = aqp.answer_plan(&plan, &ErrorSpec::default(), 2).unwrap();
+    assert_eq!(ans.report.path, ExecutionPath::Exact);
+    assert_eq!(
+        ans.global().estimates[2].value,
+        exact.rows()[0][2].as_f64().unwrap()
+    );
+    assert_eq!(exact.rows()[0][2], Value::Int64(7)); // 7 ship modes
+}
+
+#[test]
+fn multi_aggregate_queries_split_confidence() {
+    let catalog = star();
+    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
+    let plan = Query::scan("lineitem")
+        .aggregate(
+            vec![],
+            vec![
+                AggExpr::sum(col("l_price"), "s"),
+                AggExpr::count_star("n"),
+                AggExpr::avg(col("l_quantity"), "q"),
+            ],
+        )
+        .build();
+    let exact = execute(&plan, &catalog).unwrap();
+    let ans = aqp
+        .answer_plan(&plan, &ErrorSpec::new(0.05, 0.95), 6)
+        .unwrap();
+    for (i, alias) in ["s", "n", "q"].iter().enumerate() {
+        let truth = exact.rows()[0][i].as_f64().unwrap();
+        let est = ans.scalar_estimate(alias).unwrap();
+        assert!(
+            est.relative_error(truth) < 0.05,
+            "{alias}: rel err {}",
+            est.relative_error(truth)
+        );
+    }
+}
