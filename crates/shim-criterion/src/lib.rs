@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the call surface the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — over a simple median-of-samples wall-clock harness. Under
+//! `cargo test` (no `--bench` flag) each bench body runs once as a smoke
+//! test; under `cargo bench` it measures and prints one line per bench.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement mode for the process (full under `cargo bench`).
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-bench timing driver passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, sampling it `sample_count` times (once in smoke
+    /// mode). Each sample runs enough iterations to cover ~5 ms so short
+    /// routines aren't dominated by timer resolution.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Calibrate iterations per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters);
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if let Some(med) = b.median() {
+        let extra = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / med.as_secs_f64();
+                format!("  ({per_sec:.3e} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / med.as_secs_f64();
+                format!("  ({per_sec:.3e} B/s)")
+            }
+            None => String::new(),
+        };
+        println!("bench {label:<55} median {med:>12.3?}{extra}");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches a closure under `group/name`.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+            smoke: !measuring(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Benches a closure that takes a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 30,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benches a stand-alone closure.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 30,
+            smoke: !measuring(),
+        };
+        f(&mut b);
+        report(&id.to_string(), &b, None);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::new("n", 7).to_string(), "n/7");
+    }
+}

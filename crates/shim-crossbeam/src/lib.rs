@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| { s.spawn(|_| …); }) -> Result<R, _>`), implemented over
+//! `std::thread::scope` (stable since Rust 1.63). Worker panics are
+//! reported through the returned `Result`, as in crossbeam.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope (crossbeam's nested-spawn shape); the join handle is
+        /// managed by the scope itself, and a panicking worker surfaces
+        /// as `Err` from [`scope`].
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }));
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before this returns. Returns `Err`
+    /// if any spawned thread panicked (`std::thread::scope` re-raises
+    /// unjoined child panics once all threads finish; that unwind is
+    /// caught here and surfaced crossbeam-style).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let total = AtomicU64::new(0);
+            let data: Vec<u64> = (0..100).collect();
+            super::scope(|s| {
+                for chunk in data.chunks(25) {
+                    s.spawn(|_| {
+                        let sum: u64 = chunk.iter().sum();
+                        total.fetch_add(sum, Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::SeqCst), 4950);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range / `any` /
+//! tuple / `prop_map` / `prop::collection::vec` strategies, and the
+//! `prop_assert!` family. Failing cases report the case number and the
+//! deterministic per-test seed; there is no shrinking (failures are
+//! already reproducible because generation is seeded by test name).
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`cases` = property evaluations per test).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!` (case is retried).
+    Reject(String),
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Builds the deterministic RNG for one test (used by `proptest!`).
+pub fn rng_for(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// FNV-1a hash of the test name: the deterministic per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A value always generated as-is.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a whole-domain default strategy (the `any::<T>()` surface).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, wide-range floats (no NaN/inf — matches how the tests
+        // use `any::<f64>()` upstream with the default strategy filtered).
+        let mag = rng.gen_range(-300i32..300) as f64;
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        mantissa * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuple! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a property inside `proptest!`, failing the case (not
+/// panicking directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa == *__pb,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __pa,
+            __pb
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(*__pa == *__pb, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa != *__pb,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __pa
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// The property-test entry macro: turns `fn name(x in strategy, ...)`
+/// items into `#[test]` functions running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng: $crate::TestRng = $crate::rng_for(__seed);
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(16).max(1024),
+                    "proptest {}: too many rejected cases ({} attempts)",
+                    stringify!($name),
+                    __attempts
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { { $body } ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => panic!(
+                        "proptest {} failed at case {} (seed {:#x}):\n{}",
+                        stringify!($name),
+                        __passed,
+                        __seed,
+                        __msg
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds.
+        fn range_bounds(x in -50i64..50, u in 0usize..10, f in -1.5f64..2.5) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(u < 10);
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        /// Vectors hit the requested length window and map applies.
+        fn vec_and_map(
+            v in collection::vec((0i64..10).prop_map(|x| x * 2), 1..20),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assume!(b || !b);
+        }
+
+        /// Tuple strategies generate componentwise.
+        fn tuples(pair in (0u64..5, -1.0f64..1.0)) {
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0i64..10) {
+                prop_assert!(x < 0, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace marks types `#[derive(Serialize, Deserialize)]` to
+//! document wire-readiness, but nothing in-tree performs generic serde
+//! serialization (the sketches use their own binary codec). These derives
+//! therefore expand to nothing, which keeps the attribute surface
+//! compiling without the real proc-macro stack (syn/quote) the offline
+//! build environment cannot fetch.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

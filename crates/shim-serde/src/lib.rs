@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so
+//! `#[derive(Serialize, Deserialize)]` annotations compile without the
+//! real serde (unfetchable in this offline build environment). No code in
+//! this workspace performs generic serde serialization — the sketches ship
+//! over their own binary codec (`aqp-sketch::codec`).
+
+pub use serde_derive::{Deserialize, Serialize};
