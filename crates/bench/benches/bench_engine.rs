@@ -1,9 +1,11 @@
 //! Criterion benches for the exact engine: the baseline whose cost every
 //! AQP speedup in this repository is measured against.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqp_engine::{execute, AggExpr, Query};
+use aqp_engine::{execute, execute_with, AggExpr, ExecOptions, LogicalPlan, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
 use aqp_workload::{build_star_schema, uniform_table, StarScale};
@@ -61,10 +63,116 @@ fn bench_hash_join(c: &mut Criterion) {
     });
 }
 
+/// The plans swept across thread counts: one scan-heavy fused pipeline,
+/// one merge-heavy group-by, one two-phase join.
+fn sweep_plans() -> Vec<(&'static str, LogicalPlan)> {
+    vec![
+        (
+            "filter_sum",
+            Query::scan("t")
+                .filter(col("sel").lt(lit(0.5)))
+                .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+                .build(),
+        ),
+        (
+            "group_by_1k",
+            Query::scan("t")
+                .aggregate(
+                    vec![(col("id").modulo(lit(1_000i64)), "g".to_string())],
+                    vec![AggExpr::count_star("n"), AggExpr::avg(col("v"), "a")],
+                )
+                .build(),
+        ),
+        (
+            "fk_join_sum",
+            Query::scan("lineitem")
+                .join(Query::scan("orders"), col("l_orderkey"), col("o_key"))
+                .aggregate(vec![], vec![AggExpr::sum(col("l_price"), "s")])
+                .build(),
+        ),
+    ]
+}
+
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let catalog = catalog();
+    for (name, plan) in sweep_plans() {
+        let mut g = c.benchmark_group(format!("engine/parallel/{name}"));
+        for threads in SWEEP_THREADS {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        execute_with(&plan, &catalog, ExecOptions::with_threads(threads)).unwrap()
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+    write_parallel_report(&catalog);
+}
+
+/// Emits `BENCH_engine_parallel.json` at the workspace root: median wall
+/// time per (query, thread count) and the speedup of each thread count
+/// over the serial path. The acceptance criterion — ≥2× at 4 threads —
+/// applies on hosts with ≥4 cores; `host_cores` records what this run
+/// actually had.
+fn write_parallel_report(catalog: &Catalog) {
+    const REPS: usize = 7;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut queries = Vec::new();
+    for (name, plan) in sweep_plans() {
+        let mut medians = Vec::new();
+        for threads in SWEEP_THREADS {
+            let opts = ExecOptions::with_threads(threads);
+            execute_with(&plan, catalog, opts).unwrap(); // warm-up
+            let mut times: Vec<f64> = (0..REPS)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    execute_with(&plan, catalog, opts).unwrap();
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            medians.push((threads, times[REPS / 2]));
+        }
+        let serial_ms = medians[0].1;
+        let entries: Vec<String> = medians
+            .iter()
+            .map(|(t, ms)| {
+                format!(
+                    "{{\"threads\": {t}, \"median_ms\": {ms:.3}, \"speedup\": {:.3}}}",
+                    serial_ms / ms
+                )
+            })
+            .collect();
+        queries.push(format!(
+            "    {{\"query\": \"{name}\", \"sweep\": [{}]}}",
+            entries.join(", ")
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_parallel\",\n  \"host_cores\": {host_cores},\n  \
+         \"acceptance\": \"speedup >= 2.0 at threads=4 on hosts with >= 4 cores\",\n  \
+         \"queries\": [\n{}\n  ]\n}}\n",
+        queries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine_parallel.json"
+    );
+    std::fs::write(path, json).expect("write parallel bench report");
+    eprintln!("wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scan_aggregate,
     bench_group_by,
-    bench_hash_join
+    bench_hash_join,
+    bench_parallel_sweep
 );
 criterion_main!(benches);

@@ -19,7 +19,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use aqp_engine::agg::KeyAtom;
-use aqp_sampling::{stratified_sample, Allocation, Sample};
+use aqp_sampling::{stratified_sample_with_threads, Allocation, Sample};
 use aqp_sketch::{GkQuantiles, HyperLogLog};
 use aqp_stats::Estimate;
 use aqp_storage::{Catalog, Value};
@@ -58,17 +58,38 @@ pub struct QuantileSynopsis {
 }
 
 /// The offline synopsis store.
-#[derive(Default)]
 pub struct OfflineStore {
     stratified: RwLock<HashMap<String, StratifiedSynopsis>>,
     distinct: RwLock<HashMap<(String, String), DistinctSynopsis>>,
     quantiles: RwLock<HashMap<(String, String), QuantileSynopsis>>,
+    /// Worker threads for synopsis builds. HLL registers merge exactly
+    /// (per-register max is order-independent), so parallel builds are
+    /// identical to serial ones at any thread count. GK quantiles has no
+    /// merge operation and always builds serially.
+    threads: usize,
+}
+
+impl Default for OfflineStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OfflineStore {
-    /// Creates an empty store.
+    /// Creates an empty store using all available cores for builds.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_threads(aqp_engine::pool::default_threads())
+    }
+
+    /// Creates an empty store whose builds use `threads` workers
+    /// (`1` = serial).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            stratified: RwLock::new(HashMap::new()),
+            distinct: RwLock::new(HashMap::new()),
+            quantiles: RwLock::new(HashMap::new()),
+            threads: threads.max(1),
+        }
     }
 
     /// Builds (or rebuilds) a stratified sample for `table`, stratified on
@@ -83,7 +104,13 @@ impl OfflineStore {
         seed: u64,
     ) -> Result<(), AqpError> {
         let t = catalog.get(table)?;
-        let sample = stratified_sample(&t, column, &Allocation::Congressional { budget }, seed)?;
+        let sample = stratified_sample_with_threads(
+            &t,
+            column,
+            &Allocation::Congressional { budget },
+            seed,
+            self.threads,
+        )?;
         self.stratified.write().insert(
             table.to_string(),
             StratifiedSynopsis {
@@ -105,14 +132,25 @@ impl OfflineStore {
     ) -> Result<(), AqpError> {
         let t = catalog.get(table)?;
         let idx = t.schema().index_of(column)?;
-        let mut hll = HyperLogLog::new(precision);
-        for (_, block) in t.iter_blocks() {
+        // One morsel per block; HLL merge (register-wise max) is exact, so
+        // the merged sketch equals the serial single-pass build.
+        let blocks: Vec<std::sync::Arc<aqp_storage::Block>> = t
+            .iter_blocks()
+            .map(|(_, b)| std::sync::Arc::clone(b))
+            .collect();
+        let partials = aqp_engine::pool::parallel_map(blocks, self.threads, |_, block| {
+            let mut hll = HyperLogLog::new(precision);
             let col = block.column(idx);
             for i in 0..col.len() {
                 if !col.is_null(i) {
                     hll.insert_hashed(aqp_expr::stable_hash64(&col.get(i)));
                 }
             }
+            hll
+        });
+        let mut hll = HyperLogLog::new(precision);
+        for part in &partials {
+            hll.merge(part);
         }
         self.distinct.write().insert(
             (table.to_string(), column.to_string()),
@@ -465,6 +503,39 @@ mod tests {
         let est = store.approx_count_distinct("t", "g").unwrap();
         assert!((est - 50.0).abs() < 5.0, "distinct estimate {est}");
         assert!(store.approx_count_distinct("t", "nope").is_none());
+    }
+
+    #[test]
+    fn parallel_builds_match_serial() {
+        let c = catalog();
+        let serial = OfflineStore::with_threads(1);
+        serial.build_distinct(&c, "t", "g", 12).unwrap();
+        serial.build_stratified(&c, "t", "g", 4_000, 7).unwrap();
+        let serial_ans = serial
+            .answer(&sum_by_g(), &ErrorSpec::new(0.1, 0.9))
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let par = OfflineStore::with_threads(threads);
+            par.build_distinct(&c, "t", "g", 12).unwrap();
+            par.build_stratified(&c, "t", "g", 4_000, 7).unwrap();
+            // HLL merge is register-wise max: estimate is exactly equal.
+            assert_eq!(
+                serial.approx_count_distinct("t", "g").unwrap(),
+                par.approx_count_distinct("t", "g").unwrap(),
+                "threads={threads}"
+            );
+            // Congressional stratification never consults moments, so the
+            // drawn sample — and every estimate from it — is identical.
+            let par_ans = par.answer(&sum_by_g(), &ErrorSpec::new(0.1, 0.9)).unwrap();
+            assert_eq!(serial_ans.groups.len(), par_ans.groups.len());
+            for (a, b) in serial_ans.groups.iter().zip(&par_ans.groups) {
+                assert_eq!(a.key, b.key, "threads={threads}");
+                for (ea, eb) in a.estimates.iter().zip(&b.estimates) {
+                    assert_eq!(ea.value, eb.value, "threads={threads}");
+                    assert_eq!(ea.variance, eb.variance, "threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct OnlineConfig {
     /// trusts the pilot's spread estimate at face value, which experiment
     /// A1 shows costs guarantee violations.
     pub pilot_inflation: bool,
+    /// Worker threads for sampler accumulation (per-block partial group
+    /// totals merged in block order — results are identical at every
+    /// thread count). Defaults to the machine's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for OnlineConfig {
@@ -69,6 +73,7 @@ impl Default for OnlineConfig {
             max_final_rate: 0.2,
             min_covered_group_rows: Some(1_000),
             pilot_inflation: true,
+            threads: aqp_engine::pool::default_threads(),
         }
     }
 }
@@ -94,48 +99,85 @@ struct GroupAcc {
 }
 
 /// Accumulates per-group, per-aggregate block totals over a block sample.
+///
+/// Each sampled block is an independent morsel: workers fold one block's
+/// rows into a partial group map (the exact serial inner loop), and the
+/// partials are merged in block order, so the summation tree — and hence
+/// the result — is identical at every thread count.
 fn accumulate(
     evaluator: &StarEvaluator,
     sample: &aqp_sampling::Sample,
+    threads: usize,
 ) -> Result<(HashMap<Vec<KeyAtom>, GroupAcc>, u64), AqpError> {
     let num_aggs = evaluator.query().aggregates.len();
+    let blocks: Vec<std::sync::Arc<aqp_storage::Block>> = sample
+        .table
+        .iter_blocks()
+        .map(|(_, b)| std::sync::Arc::clone(b))
+        .collect();
+    let sampled_blocks = blocks.len() as u64;
+    let partials = aqp_engine::pool::parallel_map(
+        blocks,
+        threads,
+        |_, block| -> Result<HashMap<Vec<KeyAtom>, GroupAcc>, AqpError> {
+            let mut groups: HashMap<Vec<KeyAtom>, GroupAcc> = HashMap::new();
+            let mut touched: Vec<Vec<KeyAtom>> = Vec::new();
+            for ri in 0..block.len() {
+                let Some(contrib) = evaluator.eval_row(&block, ri)? else {
+                    continue;
+                };
+                let atoms: Vec<KeyAtom> = contrib.group.iter().map(KeyAtom::from_value).collect();
+                let acc = groups.entry(atoms.clone()).or_insert_with(|| GroupAcc {
+                    key: contrib.group.clone(),
+                    totals: vec![PairTotals::default(); num_aggs],
+                    cur: vec![(0.0, 0.0); num_aggs],
+                    blocks_seen: 0,
+                });
+                if acc.cur.iter().all(|&(f, g)| f == 0.0 && g == 0.0) {
+                    touched.push(atoms);
+                }
+                for (slot, &(f, g)) in acc.cur.iter_mut().zip(&contrib.per_agg) {
+                    slot.0 += f;
+                    slot.1 += g;
+                }
+            }
+            // Seal this block's totals for every touched group.
+            for atoms in &touched {
+                let acc = groups.get_mut(atoms).expect("touched implies present");
+                for (t, c) in acc.totals.iter_mut().zip(&mut acc.cur) {
+                    t.sf += c.0;
+                    t.sf2 += c.0 * c.0;
+                    t.sg += c.1;
+                    t.sg2 += c.1 * c.1;
+                    t.sfg += c.0 * c.1;
+                    *c = (0.0, 0.0);
+                }
+                acc.blocks_seen += 1;
+            }
+            Ok(groups)
+        },
+    );
+    // Merge phase: fold partial maps in block order (totals are per-block
+    // sums, so field-wise addition reproduces the serial fold exactly).
     let mut groups: HashMap<Vec<KeyAtom>, GroupAcc> = HashMap::new();
-    let mut touched: Vec<Vec<KeyAtom>> = Vec::new();
-    let mut sampled_blocks = 0u64;
-    for (_, block) in sample.table.iter_blocks() {
-        sampled_blocks += 1;
-        touched.clear();
-        for ri in 0..block.len() {
-            let Some(contrib) = evaluator.eval_row(block, ri)? else {
-                continue;
-            };
-            let atoms: Vec<KeyAtom> = contrib.group.iter().map(KeyAtom::from_value).collect();
-            let acc = groups.entry(atoms.clone()).or_insert_with(|| GroupAcc {
-                key: contrib.group.clone(),
-                totals: vec![PairTotals::default(); num_aggs],
-                cur: vec![(0.0, 0.0); num_aggs],
-                blocks_seen: 0,
-            });
-            if acc.cur.iter().all(|&(f, g)| f == 0.0 && g == 0.0) {
-                touched.push(atoms);
+    for part in partials {
+        for (atoms, acc) in part? {
+            match groups.entry(atoms) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let dst = e.get_mut();
+                    for (t, s) in dst.totals.iter_mut().zip(&acc.totals) {
+                        t.sf += s.sf;
+                        t.sf2 += s.sf2;
+                        t.sg += s.sg;
+                        t.sg2 += s.sg2;
+                        t.sfg += s.sfg;
+                    }
+                    dst.blocks_seen += acc.blocks_seen;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(acc);
+                }
             }
-            for (slot, &(f, g)) in acc.cur.iter_mut().zip(&contrib.per_agg) {
-                slot.0 += f;
-                slot.1 += g;
-            }
-        }
-        // Seal this block's totals for every touched group.
-        for atoms in &touched {
-            let acc = groups.get_mut(atoms).expect("touched implies present");
-            for (t, c) in acc.totals.iter_mut().zip(&mut acc.cur) {
-                t.sf += c.0;
-                t.sf2 += c.0 * c.0;
-                t.sg += c.1;
-                t.sg2 += c.1 * c.1;
-                t.sfg += c.0 * c.1;
-                *c = (0.0, 0.0);
-            }
-            acc.blocks_seen += 1;
         }
     }
     Ok((groups, sampled_blocks))
@@ -316,7 +358,7 @@ impl<'a> OnlineAqp<'a> {
         let pilot_rate = pilot_rate.min(0.5);
         let pilot = bernoulli_blocks(&fact, pilot_rate, seed);
         let pilot_rows = pilot.num_rows() as u64;
-        let (pilot_groups, pilot_blocks) = accumulate(&evaluator, &pilot)?;
+        let (pilot_groups, pilot_blocks) = accumulate(&evaluator, &pilot, self.config.threads)?;
         if pilot_groups.is_empty() || pilot_blocks < 2 {
             // Nothing matched in the pilot: no basis for planning.
             return self.exact(query, start.elapsed());
@@ -356,7 +398,8 @@ impl<'a> OnlineAqp<'a> {
             seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
         );
         let final_rows = final_sample.num_rows() as u64;
-        let (final_groups, final_blocks) = accumulate(&evaluator, &final_sample)?;
+        let (final_groups, final_blocks) =
+            accumulate(&evaluator, &final_sample, self.config.threads)?;
         let ci_conf = spec
             .split_across((final_groups.len() * query.aggregates.len()).max(1))
             .confidence;

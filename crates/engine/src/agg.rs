@@ -293,6 +293,72 @@ impl AggState {
         }
     }
 
+    /// Absorbs another partial state for the same aggregate function
+    /// (two-phase aggregation: thread-local partials, then a merge pass).
+    ///
+    /// `self` must be the *earlier* partial in morsel order: MIN/MAX keep
+    /// `self`'s value on ties, exactly as the serial fold keeps the first
+    /// occurrence, so merging partials in morsel order reproduces the
+    /// serial result.
+    ///
+    /// # Panics
+    /// Panics if the two states belong to different aggregate functions.
+    pub fn merge(&mut self, other: AggState) {
+        match (&mut *self, other) {
+            (AggState::CountStar(a), AggState::CountStar(b)) => *a += b,
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::Sum { sum, saw },
+                AggState::Sum {
+                    sum: other_sum,
+                    saw: other_saw,
+                },
+            ) => {
+                *sum += other_sum;
+                *saw |= other_saw;
+            }
+            (
+                AggState::Avg { sum, count },
+                AggState::Avg {
+                    sum: other_sum,
+                    count: other_count,
+                },
+            ) => {
+                *sum += other_sum;
+                *count += other_count;
+            }
+            // Strict-improvement comparisons, as in update(): ties keep the
+            // earlier partial, matching the serial fold's first-wins rule.
+            (AggState::Min(best), AggState::Min(other_best)) => {
+                if let Some(v) = other_best {
+                    let better = match best {
+                        None => true,
+                        Some(b) => matches!(v.sql_cmp(b), Some(std::cmp::Ordering::Less)),
+                    };
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(best), AggState::Max(other_best)) => {
+                if let Some(v) = other_best {
+                    let better = match best {
+                        None => true,
+                        Some(b) => matches!(v.sql_cmp(b), Some(std::cmp::Ordering::Greater)),
+                    };
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (AggState::CountDistinct(set), AggState::CountDistinct(other_set)) => {
+                set.extend(other_set);
+            }
+            (AggState::VarSamp(m), AggState::VarSamp(other_m)) => *m = m.merge(&other_m),
+            (a, b) => panic!("cannot merge mismatched aggregate states {a:?} / {b:?}"),
+        }
+    }
+
     /// Finalizes the state to an output value.
     pub fn finish(&self) -> Value {
         match self {
@@ -399,6 +465,85 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(AggState::new(AggFunc::VarSamp).finish(), Value::Null);
+    }
+
+    #[test]
+    fn merge_equals_serial_fold() {
+        // For every function: split a stream in two, fold each half into a
+        // partial, merge, and compare against the single serial fold.
+        let values = [
+            Value::Float64(3.0),
+            Value::Null,
+            Value::Int64(-2),
+            Value::Float64(7.5),
+            Value::Int64(5),
+            Value::Float64(3.0),
+        ];
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::CountDistinct,
+        ] {
+            let mut serial = AggState::new(func);
+            for v in &values {
+                serial.update(v);
+            }
+            for split in 0..=values.len() {
+                let mut left = AggState::new(func);
+                let mut right = AggState::new(func);
+                for v in &values[..split] {
+                    left.update(v);
+                }
+                for v in &values[split..] {
+                    right.update(v);
+                }
+                left.merge(right);
+                assert_eq!(left.finish(), serial.finish(), "{func} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_var_samp_matches_serial_closely() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut serial = AggState::new(AggFunc::VarSamp);
+        let mut left = AggState::new(AggFunc::VarSamp);
+        let mut right = AggState::new(AggFunc::VarSamp);
+        for (i, &x) in xs.iter().enumerate() {
+            serial.update(&Value::Float64(x));
+            if i < 3 {
+                left.update(&Value::Float64(x));
+            } else {
+                right.update(&Value::Float64(x));
+            }
+        }
+        left.merge(right);
+        let (Value::Float64(a), Value::Float64(b)) = (left.finish(), serial.finish()) else {
+            panic!("expected float variances");
+        };
+        assert!((a - b).abs() < 1e-12, "merged {a} vs serial {b}");
+    }
+
+    #[test]
+    fn merge_empty_partial_is_identity() {
+        let mut sum = AggState::new(AggFunc::Sum);
+        sum.update(&Value::Float64(2.5));
+        sum.merge(AggState::new(AggFunc::Sum));
+        assert_eq!(sum.finish(), Value::Float64(2.5));
+        let mut min = AggState::new(AggFunc::Min);
+        min.merge(AggState::new(AggFunc::Min));
+        assert_eq!(min.finish(), Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched aggregate states")]
+    fn merge_mismatched_states_panics() {
+        let mut a = AggState::new(AggFunc::Sum);
+        a.merge(AggState::new(AggFunc::Count));
     }
 
     #[test]

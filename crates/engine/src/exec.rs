@@ -1,5 +1,20 @@
-//! Block-at-a-time physical execution.
+//! Morsel-driven block-at-a-time physical execution.
+//!
+//! Leaf scans are split into per-block *morsels* dispatched to a scoped
+//! worker pool ([`crate::pool`]). `Scan→Filter→Project` chains run fused:
+//! one worker carries a morsel through the whole chain without
+//! materializing intermediates. Hash aggregation and hash join run in two
+//! phases — per-morsel partial states (partial [`AggState`]s, partial
+//! build-side tables), then a merge pass folding partials *in morsel
+//! order*.
+//!
+//! That fixed fold order is the determinism guarantee: the reduction tree
+//! depends only on data layout, never on scheduling, so a given plan
+//! produces identical results at every thread count. `threads == 1`
+//! (see [`ExecOptions`]) bypasses the pool entirely and runs the legacy
+//! serial fold bit-for-bit.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -10,18 +25,52 @@ use aqp_storage::{Block, Catalog, Column, Schema, Value};
 use crate::agg::{AggState, KeyAtom};
 use crate::error::EngineError;
 use crate::plan::{LogicalPlan, SortKey};
+use crate::pool::{self, ExecOptions};
 use crate::result::{ExecStats, ResultSet};
 
 /// Rows per output block produced by row-assembling operators (join, agg).
 const OUTPUT_BLOCK_ROWS: usize = 4096;
 
-/// Executes a logical plan against a catalog, materializing the result.
+/// Minimum total input rows before an operator pays for the worker pool;
+/// below this, pool setup costs more than the work.
+const MIN_PARALLEL_ROWS: u64 = 4096;
+
+/// Blocks per aggregation morsel. Aggregation partials carry a hash map
+/// whose size scales with group cardinality, so one-block morsels would
+/// pay that map (and its merge) per block; spanning several blocks
+/// amortizes it. Fixed by layout — independent of the thread count — so
+/// the partial-merge tree, and hence the result, never varies with it.
+const AGG_MORSEL_BLOCKS: usize = 16;
+
+/// Resolves the worker count for an operator over `morsels` morsels
+/// holding `rows` rows total: serial for small inputs, otherwise the
+/// configured thread count capped at one worker per morsel.
+fn morsel_threads(opts: &ExecOptions, morsels: usize, rows: u64) -> usize {
+    if opts.threads <= 1 || morsels < 2 || rows < MIN_PARALLEL_ROWS {
+        1
+    } else {
+        opts.threads.min(morsels)
+    }
+}
+
+/// Executes a logical plan against a catalog with default options
+/// (worker count = available parallelism).
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<ResultSet, EngineError> {
+    execute_with(plan, catalog, ExecOptions::default())
+}
+
+/// Executes a logical plan against a catalog, materializing the result.
+/// Result batches are shared (`Arc`) with the executor's intermediates —
+/// assembling the [`ResultSet`] copies no data.
+pub fn execute_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<ResultSet, EngineError> {
     let schema = plan.schema(catalog)?;
     let mut stats = ExecStats::default();
-    let batches = exec_node(plan, catalog, &mut stats)?;
+    let batches = exec_node(plan, catalog, &mut stats, &opts)?;
     stats.rows_output = batches.iter().map(|b| b.len() as u64).sum();
-    let batches = batches.iter().map(|b| (**b).clone()).collect();
     Ok(ResultSet::new(schema, batches, stats))
 }
 
@@ -29,7 +78,12 @@ fn exec_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     stats: &mut ExecStats,
+    opts: &ExecOptions,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
+    if let Some(fused) = fuse(plan) {
+        let out_schema = plan.schema(catalog)?;
+        return exec_fused(&fused, &out_schema, catalog, stats, opts);
+    }
     match plan {
         LogicalPlan::Scan { table } => {
             let t = catalog.get(table)?;
@@ -42,21 +96,17 @@ fn exec_node(
             Ok(out)
         }
         LogicalPlan::Filter { input, predicate } => {
-            let batches = exec_node(input, catalog, stats)?;
-            filter_batches(batches, predicate)
+            let batches = exec_node(input, catalog, stats, opts)?;
+            let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+            let threads = morsel_threads(opts, batches.len(), rows);
+            filter_batches(batches, predicate, threads)
         }
         LogicalPlan::Project { input, exprs } => {
-            let batches = exec_node(input, catalog, stats)?;
+            let batches = exec_node(input, catalog, stats, opts)?;
             let schema = plan.schema(catalog)?;
-            let mut out = Vec::with_capacity(batches.len());
-            for block in batches {
-                let columns: Vec<Column> = exprs
-                    .iter()
-                    .map(|(e, _)| eval(e, &block))
-                    .collect::<Result<_, _>>()?;
-                out.push(Arc::new(Block::from_columns(Arc::clone(&schema), columns)));
-            }
-            Ok(out)
+            let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+            let threads = morsel_threads(opts, batches.len(), rows);
+            project_batches(batches, exprs, &schema, threads)
         }
         LogicalPlan::Join {
             left,
@@ -64,27 +114,43 @@ fn exec_node(
             left_key,
             right_key,
         } => {
-            let left_batches = exec_node(left, catalog, stats)?;
-            let right_batches = exec_node(right, catalog, stats)?;
+            let left_batches = exec_node(left, catalog, stats, opts)?;
+            let right_batches = exec_node(right, catalog, stats, opts)?;
             let schema = plan.schema(catalog)?;
-            hash_join(&left_batches, &right_batches, left_key, right_key, &schema)
+            let rows: u64 = left_batches
+                .iter()
+                .chain(&right_batches)
+                .map(|b| b.len() as u64)
+                .sum();
+            let morsels = left_batches.len().max(right_batches.len());
+            let threads = morsel_threads(opts, morsels, rows);
+            hash_join(
+                &left_batches,
+                &right_batches,
+                left_key,
+                right_key,
+                &schema,
+                threads,
+            )
         }
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggregates,
         } => {
-            let batches = exec_node(input, catalog, stats)?;
+            let batches = exec_node(input, catalog, stats, opts)?;
             let schema = plan.schema(catalog)?;
-            hash_aggregate(&batches, group_by, aggregates, &schema)
+            let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+            let threads = morsel_threads(opts, batches.len().div_ceil(AGG_MORSEL_BLOCKS), rows);
+            hash_aggregate(&batches, group_by, aggregates, &schema, threads)
         }
         LogicalPlan::Sort { input, keys } => {
-            let batches = exec_node(input, catalog, stats)?;
+            let batches = exec_node(input, catalog, stats, opts)?;
             let schema = plan.schema(catalog)?;
             sort_batches(&batches, keys, &schema)
         }
         LogicalPlan::Limit { input, n } => {
-            let batches = exec_node(input, catalog, stats)?;
+            let batches = exec_node(input, catalog, stats, opts)?;
             let mut out = Vec::new();
             let mut remaining = *n;
             for block in batches {
@@ -106,7 +172,7 @@ fn exec_node(
             let schema = plan.schema(catalog)?;
             let mut out = Vec::new();
             for child in inputs {
-                for block in exec_node(child, catalog, stats)? {
+                for block in exec_node(child, catalog, stats, opts)? {
                     if block.schema().as_ref() == schema.as_ref() {
                         out.push(block);
                     } else {
@@ -124,54 +190,117 @@ fn exec_node(
     }
 }
 
-/// Below this many blocks a filter runs serially; above it, blocks are
-/// filtered on a crossbeam-scoped thread pool (predicate evaluation is
-/// pure and blocks are independent, so order is preserved by index).
-const PARALLEL_FILTER_THRESHOLD: usize = 64;
+/// A `Scan→Filter…→Project` chain runnable as one fused per-morsel
+/// pipeline: each worker scans a block, applies the predicates in order,
+/// and projects, with no cross-operator materialization.
+struct FusedScan<'a> {
+    table: &'a str,
+    /// Predicates in application (innermost-first) order.
+    predicates: Vec<&'a Expr>,
+    project: Option<&'a [(Expr, String)]>,
+}
 
-/// Applies a predicate to a batch list, in parallel for large inputs.
+/// Recognizes a fusable chain: optional `Project` over zero or more
+/// `Filter`s over a `Scan`, with at least one non-scan operator.
+fn fuse(plan: &LogicalPlan) -> Option<FusedScan<'_>> {
+    let (project, mut node) = match plan {
+        LogicalPlan::Project { input, exprs } => (Some(exprs.as_slice()), input.as_ref()),
+        _ => (None, plan),
+    };
+    let mut predicates = Vec::new();
+    loop {
+        match node {
+            LogicalPlan::Filter { input, predicate } => {
+                predicates.push(predicate);
+                node = input.as_ref();
+            }
+            LogicalPlan::Scan { table } if project.is_some() || !predicates.is_empty() => {
+                predicates.reverse();
+                return Some(FusedScan {
+                    table,
+                    predicates,
+                    project,
+                });
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Runs a fused chain: one morsel per base-table block, scan accounting
+/// accumulated per worker and merged.
+fn exec_fused(
+    fused: &FusedScan<'_>,
+    out_schema: &Arc<Schema>,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    let t = catalog.get(fused.table)?;
+    let blocks: Vec<Arc<Block>> = t.iter_blocks().map(|(_, b)| Arc::clone(b)).collect();
+    let rows: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+    let threads = morsel_threads(opts, blocks.len(), rows);
+    let project_schema = fused.project.map(|_| Arc::clone(out_schema));
+    let (results, scan_stats) = pool::parallel_map_with_stats(
+        blocks,
+        threads,
+        |_, block, s| -> Result<Option<Arc<Block>>, EngineError> {
+            s.blocks_scanned += 1;
+            s.rows_scanned += block.len() as u64;
+            let mut cur = block;
+            for pred in &fused.predicates {
+                let mask = eval_predicate_mask(pred, &cur)?;
+                if mask.iter().all(|&keep| keep) {
+                    // Block passes whole: keep the shared reference.
+                } else if mask.iter().any(|&keep| keep) {
+                    cur = Arc::new(cur.filter(&mask));
+                } else {
+                    return Ok(None);
+                }
+            }
+            if let Some(exprs) = fused.project {
+                let schema = project_schema.as_ref().expect("schema set when projecting");
+                let columns: Vec<Column> = exprs
+                    .iter()
+                    .map(|(e, _)| eval(e, &cur))
+                    .collect::<Result<_, _>>()?;
+                cur = Arc::new(Block::from_columns(Arc::clone(schema), columns));
+            }
+            Ok(Some(cur))
+        },
+    );
+    *stats = stats.merge(&scan_stats);
+    let mut out = Vec::new();
+    for r in results {
+        if let Some(block) = r? {
+            out.push(block);
+        }
+    }
+    Ok(out)
+}
+
+/// Applies a predicate to a batch list on up to `threads` workers.
+/// Blocks are independent morsels; output order is preserved by index.
 fn filter_batches(
     batches: Vec<Arc<Block>>,
     predicate: &Expr,
+    threads: usize,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
-    let filter_one = |block: &Arc<Block>| -> Result<Option<Arc<Block>>, EngineError> {
-        let mask = eval_predicate_mask(predicate, block)?;
-        Ok(if mask.iter().all(|&b| b) {
-            Some(Arc::clone(block))
-        } else if mask.iter().any(|&b| b) {
-            Some(Arc::new(block.filter(&mask)))
-        } else {
-            None
-        })
-    };
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8);
-    if batches.len() < PARALLEL_FILTER_THRESHOLD || threads < 2 {
-        let mut out = Vec::with_capacity(batches.len());
-        for block in &batches {
-            if let Some(kept) = filter_one(block)? {
-                out.push(kept);
-            }
-        }
-        return Ok(out);
-    }
-    let mut results: Vec<Result<Option<Arc<Block>>, EngineError>> =
-        Vec::with_capacity(batches.len());
-    results.resize_with(batches.len(), || Ok(None));
-    let chunk = batches.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in batches.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (block, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = filter_one(block);
-                }
-            });
-        }
-    })
-    .expect("filter worker panicked");
-    let mut out = Vec::with_capacity(batches.len());
+    let results = pool::parallel_map(
+        batches,
+        threads,
+        |_, block| -> Result<Option<Arc<Block>>, EngineError> {
+            let mask = eval_predicate_mask(predicate, &block)?;
+            Ok(if mask.iter().all(|&b| b) {
+                Some(block)
+            } else if mask.iter().any(|&b| b) {
+                Some(Arc::new(block.filter(&mask)))
+            } else {
+                None
+            })
+        },
+    );
+    let mut out = Vec::new();
     for r in results {
         if let Some(kept) = r? {
             out.push(kept);
@@ -180,8 +309,122 @@ fn filter_batches(
     Ok(out)
 }
 
+/// Evaluates projection expressions per block on up to `threads` workers.
+fn project_batches(
+    batches: Vec<Arc<Block>>,
+    exprs: &[(Expr, String)],
+    schema: &Arc<Schema>,
+    threads: usize,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    let results = pool::parallel_map(
+        batches,
+        threads,
+        |_, block| -> Result<Arc<Block>, EngineError> {
+            let columns: Vec<Column> = exprs
+                .iter()
+                .map(|(e, _)| eval(e, &block))
+                .collect::<Result<_, _>>()?;
+            Ok(Arc::new(Block::from_columns(Arc::clone(schema), columns)))
+        },
+    );
+    results.into_iter().collect()
+}
+
 /// Builds a hash table over the right side, probes with the left.
+/// With `threads > 1` both phases run two-phase: per-block partial build
+/// tables and per-block probe match lists, merged in block order, so the
+/// output is identical to the serial path's.
 fn hash_join(
+    left_batches: &[Arc<Block>],
+    right_batches: &[Arc<Block>],
+    left_key: &Expr,
+    right_key: &Expr,
+    schema: &Arc<Schema>,
+    threads: usize,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    if threads <= 1 {
+        return hash_join_serial(left_batches, right_batches, left_key, right_key, schema);
+    }
+    // Build phase: per-right-block partial tables, merged in block order so
+    // each key's match list carries (bi, ri) in ascending order — the same
+    // order the serial build produces.
+    type Matches = HashMap<KeyAtom, Vec<(usize, usize)>>;
+    let build_parts = pool::parallel_map(
+        right_batches.to_vec(),
+        threads,
+        |bi, block| -> Result<Matches, EngineError> {
+            let keys = eval(right_key, &block)?;
+            let mut part: Matches = HashMap::new();
+            for ri in 0..block.len() {
+                let k = keys.get(ri);
+                if k.is_null() {
+                    continue; // NULL keys never join
+                }
+                part.entry(KeyAtom::from_value(&k))
+                    .or_default()
+                    .push((bi, ri));
+            }
+            Ok(part)
+        },
+    );
+    let mut table: Matches = HashMap::new();
+    for part in build_parts {
+        for (k, mut v) in part? {
+            table.entry(k).or_default().append(&mut v);
+        }
+    }
+    // Probe phase: per-left-block match triples.
+    let table = &table;
+    let probe_parts = pool::parallel_map(
+        left_batches.to_vec(),
+        threads,
+        |_, block| -> Result<Vec<(usize, usize, usize)>, EngineError> {
+            let keys = eval(left_key, &block)?;
+            let mut out = Vec::new();
+            for li in 0..block.len() {
+                let k = keys.get(li);
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&KeyAtom::from_value(&k)) {
+                    for &(bi, ri) in matches {
+                        out.push((li, bi, ri));
+                    }
+                }
+            }
+            Ok(out)
+        },
+    );
+    let mut joined: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for (lbi, part) in probe_parts.into_iter().enumerate() {
+        for (li, bi, ri) in part? {
+            joined.push((lbi, li, bi, ri));
+        }
+    }
+    // Materialization: the global match list splits into independent
+    // OUTPUT_BLOCK_ROWS-sized output morsels — the same blocking the
+    // serial row-packing loop produces.
+    let chunks: Vec<&[(usize, usize, usize, usize)]> = joined.chunks(OUTPUT_BLOCK_ROWS).collect();
+    let blocks = pool::parallel_map(
+        chunks,
+        threads,
+        |_, chunk| -> Result<Arc<Block>, EngineError> {
+            let mut block = Block::with_capacity(Arc::clone(schema), chunk.len());
+            let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
+            for &(lbi, li, bi, ri) in chunk {
+                row_buf.clear();
+                row_buf.extend(left_batches[lbi].row(li));
+                row_buf.extend(right_batches[bi].row(ri));
+                block.push_row(&row_buf).map_err(EngineError::Storage)?;
+            }
+            Ok(Arc::new(block))
+        },
+    );
+    blocks.into_iter().collect()
+}
+
+/// The legacy serial join: single build table, row-packing probe.
+fn hash_join_serial(
     left_batches: &[Arc<Block>],
     right_batches: &[Arc<Block>],
     left_key: &Expr,
@@ -238,35 +481,61 @@ fn hash_join(
 }
 
 /// Hash aggregation; deterministic output order (groups sorted by key).
+/// With `threads > 1` runs two-phase: per-block partial [`AggState`] maps
+/// merged in block order via [`AggState::merge`].
 fn hash_aggregate(
     batches: &[Arc<Block>],
     group_by: &[(Expr, String)],
     aggregates: &[crate::agg::AggExpr],
     schema: &Arc<Schema>,
+    threads: usize,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
-    let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = HashMap::new();
-    for block in batches {
-        let key_cols: Vec<Column> = group_by
-            .iter()
-            .map(|(e, _)| eval(e, block))
-            .collect::<Result<_, _>>()?;
-        let agg_cols: Vec<Column> = aggregates
-            .iter()
-            .map(|a| eval(&a.expr, block))
-            .collect::<Result<_, _>>()?;
-        for ri in 0..block.len() {
-            let key: Vec<KeyAtom> = key_cols
-                .iter()
-                .map(|c| KeyAtom::from_value(&c.get(ri)))
-                .collect();
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
-            for (state, col) in states.iter_mut().zip(&agg_cols) {
-                state.update(&col.get(ri));
+    let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = if threads <= 1 {
+        let mut groups = HashMap::new();
+        for block in batches {
+            accumulate_block(block, group_by, aggregates, &mut groups)?;
+        }
+        groups
+    } else {
+        // Phase 1: per-morsel partials. Phase 2: fold in morsel order, so
+        // each group's states merge along a fixed, scheduling-independent
+        // reduction tree. Aggregation morsels span several blocks
+        // (AGG_MORSEL_BLOCKS — a layout constant, never derived from the
+        // thread count, or results would vary with it): a partial map
+        // amortizes over the whole span, keeping the merge phase small
+        // even when group cardinality approaches the block size.
+        let morsels: Vec<Vec<Arc<Block>>> = batches
+            .chunks(AGG_MORSEL_BLOCKS)
+            .map(|c| c.to_vec())
+            .collect();
+        let partials = pool::parallel_map(
+            morsels,
+            threads,
+            |_, span| -> Result<HashMap<Vec<KeyAtom>, Vec<AggState>>, EngineError> {
+                let mut part = HashMap::new();
+                for block in &span {
+                    accumulate_block(block, group_by, aggregates, &mut part)?;
+                }
+                Ok(part)
+            },
+        );
+        let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = HashMap::new();
+        for part in partials {
+            for (key, states) in part? {
+                match groups.entry(key) {
+                    Entry::Occupied(mut e) => {
+                        for (dst, src) in e.get_mut().iter_mut().zip(states) {
+                            dst.merge(src);
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(states);
+                    }
+                }
             }
         }
-    }
+        groups
+    };
     // SQL: a global aggregate over zero rows still yields one row.
     if groups.is_empty() && group_by.is_empty() {
         groups.insert(
@@ -297,6 +566,37 @@ fn hash_aggregate(
         out.push(Arc::new(current));
     }
     Ok(out)
+}
+
+/// Folds one block's rows into a group map (the shared inner loop of both
+/// the serial fold and the per-morsel partial phase).
+fn accumulate_block(
+    block: &Block,
+    group_by: &[(Expr, String)],
+    aggregates: &[crate::agg::AggExpr],
+    groups: &mut HashMap<Vec<KeyAtom>, Vec<AggState>>,
+) -> Result<(), EngineError> {
+    let key_cols: Vec<Column> = group_by
+        .iter()
+        .map(|(e, _)| eval(e, block))
+        .collect::<Result<_, _>>()?;
+    let agg_cols: Vec<Column> = aggregates
+        .iter()
+        .map(|a| eval(&a.expr, block))
+        .collect::<Result<_, _>>()?;
+    for ri in 0..block.len() {
+        let key: Vec<KeyAtom> = key_cols
+            .iter()
+            .map(|c| KeyAtom::from_value(&c.get(ri)))
+            .collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect());
+        for (state, col) in states.iter_mut().zip(&agg_cols) {
+            state.update(&col.get(ri));
+        }
+    }
+    Ok(())
 }
 
 /// Total order over composite keys for deterministic group output:
@@ -742,5 +1042,139 @@ mod parallel_filter_tests {
         let c = wide_catalog();
         let r = execute(&Query::scan("w").filter(col("v").gt(lit(1e9))).build(), &c).unwrap();
         assert_eq!(r.num_rows(), 0);
+    }
+}
+
+#[cfg(test)]
+mod morsel_parallel_tests {
+    use super::*;
+    use crate::agg::AggExpr;
+    use crate::plan::Query;
+    use aqp_expr::{col, lit};
+    use aqp_storage::{DataType, Field, Schema, TableBuilder};
+
+    /// Fact + dimension tables with enough blocks to exercise the pool.
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("fact", schema, 64);
+        for i in 0..12_000i64 {
+            b.push_row(&[
+                Value::Int64(i),
+                Value::Int64(i % 37),
+                Value::Float64((i % 251) as f64),
+            ])
+            .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+
+        let dim_schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("name", DataType::Str),
+        ]);
+        let mut b = TableBuilder::with_block_capacity("dim", dim_schema, 8);
+        for k in 0..37i64 {
+            b.push_row(&[Value::Int64(k), Value::str(format!("g{:02}", k % 5))])
+                .unwrap();
+        }
+        c.register(b.finish()).unwrap();
+        c
+    }
+
+    fn pipeline_plan() -> LogicalPlan {
+        Query::scan("fact")
+            .filter(col("v").lt(lit(200.0)))
+            .join(Query::scan("dim"), col("k"), col("k"))
+            .aggregate(
+                vec![(col("name"), "name".to_string())],
+                vec![
+                    AggExpr::count_star("n"),
+                    AggExpr::sum(col("v"), "s"),
+                    AggExpr::avg(col("v"), "a"),
+                    AggExpr::min(col("id"), "mn"),
+                    AggExpr::max(col("id"), "mx"),
+                    AggExpr::count_distinct(col("k"), "d"),
+                ],
+            )
+            .build()
+    }
+
+    #[test]
+    fn thread_counts_agree_on_composite_pipeline() {
+        let c = catalog();
+        let serial = execute_with(&pipeline_plan(), &c, ExecOptions::serial()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                execute_with(&pipeline_plan(), &c, ExecOptions::with_threads(threads)).unwrap();
+            assert_eq!(parallel.schema(), serial.schema());
+            assert_eq!(parallel.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(parallel.stats(), serial.stats(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_counts_scan_stats() {
+        let c = catalog();
+        let plan = Query::scan("fact")
+            .filter(col("v").lt(lit(100.0)))
+            .project(vec![(col("v").mul(lit(2.0)), "v2".to_string())])
+            .build();
+        let serial = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
+        let parallel = execute_with(&plan, &c, ExecOptions::with_threads(4)).unwrap();
+        // Every base block is scanned exactly once in both modes.
+        assert_eq!(serial.stats().blocks_scanned, 188); // ceil(12000/64)
+        assert_eq!(parallel.stats(), serial.stats());
+        assert_eq!(parallel.rows(), serial.rows());
+    }
+
+    #[test]
+    fn fuse_recognizes_chains() {
+        let scan_only = Query::scan("fact").build();
+        assert!(fuse(&scan_only).is_none());
+        let filtered = Query::scan("fact").filter(col("v").lt(lit(1.0))).build();
+        let f = fuse(&filtered).expect("filter over scan fuses");
+        assert_eq!(f.table, "fact");
+        assert_eq!(f.predicates.len(), 1);
+        assert!(f.project.is_none());
+        let chain = Query::scan("fact")
+            .filter(col("v").lt(lit(1.0)))
+            .filter(col("id").gt(lit(0i64)))
+            .project(vec![(col("id"), "id".to_string())])
+            .build();
+        let f = fuse(&chain).expect("project over filters over scan fuses");
+        assert_eq!(f.predicates.len(), 2);
+        assert!(f.project.is_some());
+        let joined = Query::scan("fact")
+            .join(Query::scan("dim"), col("k"), col("k"))
+            .build();
+        assert!(fuse(&joined).is_none());
+    }
+
+    #[test]
+    fn join_blocking_identical_across_threads() {
+        let c = catalog();
+        let plan = Query::scan("fact")
+            .join(Query::scan("dim"), col("k"), col("k"))
+            .build();
+        let serial = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
+        let parallel = execute_with(&plan, &c, ExecOptions::with_threads(4)).unwrap();
+        // Same rows, same 4096-row output blocking.
+        let serial_sizes: Vec<usize> = serial.batches().iter().map(|b| b.len()).collect();
+        let parallel_sizes: Vec<usize> = parallel.batches().iter().map(|b| b.len()).collect();
+        assert_eq!(parallel_sizes, serial_sizes);
+        assert_eq!(parallel.rows(), serial.rows());
+    }
+
+    #[test]
+    fn parallel_error_propagation_from_fused_chain() {
+        let c = catalog();
+        let plan = Query::scan("fact")
+            .filter(col("missing").gt(lit(0i64)))
+            .build();
+        assert!(execute_with(&plan, &c, ExecOptions::with_threads(4)).is_err());
     }
 }

@@ -7,9 +7,13 @@
 //! * [`plan`] — logical plans built through a typed builder
 //!   ([`Query`]): scan, filter, project, inner hash join,
 //!   group-by aggregate, sort, limit, union-all.
-//! * [`exec`] — block-at-a-time physical execution with scan accounting
-//!   ([`ExecStats`]) so experiments can report *data
-//!   touched*, the scale-free proxy for I/O cost.
+//! * [`exec`] — morsel-driven physical execution: per-block morsels on a
+//!   scoped worker pool ([`pool`]), fused scan→filter→project chains, and
+//!   two-phase (partial + in-order merge) hash aggregation and join, with
+//!   scan accounting ([`ExecStats`]) so experiments can report *data
+//!   touched*, the scale-free proxy for I/O cost. Results are identical
+//!   at every thread count ([`ExecOptions`]); `threads == 1` is the
+//!   bit-for-bit serial fold.
 //! * [`agg`] — hash aggregation with SQL NULL semantics, including the
 //!   weighted aggregates (`SUM(x·w)`) middleware AQP rewrites rely on.
 //! * [`result`] — materialized result sets.
@@ -26,10 +30,12 @@ pub mod agg;
 pub mod error;
 pub mod exec;
 pub mod plan;
+pub mod pool;
 pub mod result;
 
 pub use agg::{AggExpr, AggFunc};
 pub use error::EngineError;
-pub use exec::execute;
+pub use exec::{execute, execute_with};
 pub use plan::{LogicalPlan, Query, SortKey};
+pub use pool::ExecOptions;
 pub use result::{ExecStats, ResultSet};

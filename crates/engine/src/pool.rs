@@ -1,0 +1,160 @@
+//! Morsel scheduling: a scoped worker pool with an order-preserving
+//! parallel map over indexed morsels.
+//!
+//! A *morsel* is one unit of work — in this engine, one input block. The
+//! pool hands morsels to workers through a shared work queue (idle workers
+//! pull the next morsel, so skewed per-morsel costs self-balance), and
+//! every result is tagged with its morsel index so callers get outputs in
+//! input order no matter which worker produced them. That index tagging is
+//! what makes parallel execution deterministic: downstream merge phases
+//! fold partial states in morsel order, a reduction tree fixed by data
+//! layout rather than by scheduling.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+
+use parking_lot::Mutex;
+
+use crate::result::ExecStats;
+
+/// Options controlling how a plan is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of worker threads for morsel-parallel operators. `1` runs
+    /// the serial path (bit-for-bit identical to the pre-parallel engine);
+    /// values above 1 enable the scoped worker pool. Never 0 (clamped).
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options pinned to the serial execution path.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Options with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `threads` workers, returning results
+/// in item order. With `threads <= 1` (or fewer than two items) this runs
+/// inline on the calling thread, in order, with no pool involved.
+pub fn parallel_map<I, T, F>(items: Vec<I>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let (out, _) = parallel_map_with_stats(items, threads, |i, item, _| f(i, item));
+    out
+}
+
+/// Like [`parallel_map`], but each worker also owns an [`ExecStats`]
+/// accumulator; the per-worker partials are merged (order-insensitive
+/// sums) and returned alongside the results. This is how scan accounting
+/// flows out of fused morsel pipelines without any shared-counter traffic.
+pub fn parallel_map_with_stats<I, T, F>(items: Vec<I>, threads: usize, f: F) -> (Vec<T>, ExecStats)
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I, &mut ExecStats) -> T + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        let mut stats = ExecStats::default();
+        let out = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item, &mut stats))
+            .collect();
+        return (out, stats);
+    }
+    let n = items.len();
+    let workers = threads.min(n);
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let total: Mutex<ExecStats> = Mutex::new(ExecStats::default());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                let mut stats = ExecStats::default();
+                loop {
+                    let next = queue.lock().pop_front();
+                    let Some((i, item)) = next else { break };
+                    local.push((i, f(i, item, &mut stats)));
+                }
+                results.lock().extend(local);
+                let mut t = total.lock();
+                *t = t.merge(&stats);
+            });
+        }
+    })
+    .expect("morsel worker panicked");
+    let mut tagged = results.into_inner();
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    let out = tagged.into_iter().map(|(_, v)| v).collect();
+    (out, total.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_and_clamping() {
+        assert!(ExecOptions::default().threads >= 1);
+        assert_eq!(ExecOptions::serial().threads, 1);
+        assert_eq!(ExecOptions::with_threads(0).threads, 1);
+        assert_eq!(ExecOptions::with_threads(4).threads, 4);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(items.clone(), threads, |i, x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn per_worker_stats_merge() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 3, 8] {
+            let (_, stats) = parallel_map_with_stats(items.clone(), threads, |_, x, s| {
+                s.blocks_scanned += 1;
+                s.rows_scanned += x;
+            });
+            assert_eq!(stats.blocks_scanned, 257);
+            assert_eq!(stats.rows_scanned, (0..257).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map(vec![41], 8, |_, x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -32,16 +32,20 @@ impl ExecStats {
 }
 
 /// A fully materialized query result: a schema and a list of blocks.
+///
+/// Batches are reference-counted: results assembled from scans or shared
+/// intermediates alias the underlying blocks instead of deep-copying them,
+/// so materializing a result is O(number of blocks), not O(data).
 #[derive(Debug, Clone)]
 pub struct ResultSet {
     schema: Arc<Schema>,
-    batches: Vec<Block>,
+    batches: Vec<Arc<Block>>,
     stats: ExecStats,
 }
 
 impl ResultSet {
-    /// Assembles a result set.
-    pub fn new(schema: Arc<Schema>, batches: Vec<Block>, stats: ExecStats) -> Self {
+    /// Assembles a result set from shared blocks (zero-copy).
+    pub fn new(schema: Arc<Schema>, batches: Vec<Arc<Block>>, stats: ExecStats) -> Self {
         Self {
             schema,
             batches,
@@ -55,7 +59,7 @@ impl ResultSet {
     }
 
     /// The result batches.
-    pub fn batches(&self) -> &[Block] {
+    pub fn batches(&self) -> &[Arc<Block>] {
         &self.batches
     }
 
@@ -66,7 +70,7 @@ impl ResultSet {
 
     /// Total number of rows.
     pub fn num_rows(&self) -> usize {
-        self.batches.iter().map(Block::len).sum()
+        self.batches.iter().map(|b| b.len()).sum()
     }
 
     /// Row `i` across batches, materialized as values.
@@ -126,7 +130,7 @@ impl ResultSet {
     /// Concatenates all batches into one block.
     pub fn to_block(&self) -> Block {
         if self.batches.len() == 1 {
-            return self.batches[0].clone();
+            return (*self.batches[0]).clone();
         }
         let mut columns: Vec<Column> = self
             .schema
@@ -160,7 +164,11 @@ mod tests {
         let mut b2 = Block::new(Arc::clone(&schema));
         b2.push_row(&[Value::Int64(3), Value::Float64(3.5)])
             .unwrap();
-        ResultSet::new(schema, vec![b1, b2], ExecStats::default())
+        ResultSet::new(
+            schema,
+            vec![Arc::new(b1), Arc::new(b2)],
+            ExecStats::default(),
+        )
     }
 
     #[test]
@@ -202,7 +210,7 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
         let mut b = Block::new(Arc::clone(&schema));
         b.push_row(&[Value::Int64(42)]).unwrap();
-        let r = ResultSet::new(schema, vec![b], ExecStats::default());
+        let r = ResultSet::new(schema, vec![Arc::new(b)], ExecStats::default());
         assert_eq!(r.scalar(), Value::Int64(42));
     }
 

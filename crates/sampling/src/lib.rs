@@ -42,5 +42,5 @@ pub use distinct::distinct_sample;
 pub use outlier::{build_outlier_index, OutlierIndex};
 pub use pps::{pps_sample, PpsSample};
 pub use reservoir::{block_srs, reservoir_rows};
-pub use stratified::{stratified_sample, Allocation};
+pub use stratified::{stratified_sample, stratified_sample_with_threads, Allocation};
 pub use universe::universe_sample;

@@ -60,6 +60,23 @@ pub fn stratified_sample(
     allocation: &Allocation,
     seed: u64,
 ) -> Result<Sample, StorageError> {
+    stratified_sample_with_threads(table, column, allocation, seed, 1)
+}
+
+/// [`stratified_sample`] with a morsel-parallel pass 1: workers group one
+/// block each, and per-block partials merge in block order, so the sampled
+/// row coordinates — and hence the drawn sample — are identical at every
+/// thread count. (Under Neyman allocation the per-stratum moments are
+/// combined pairwise rather than by a single streaming fold, which can
+/// differ from `threads == 1` in final ulps of the allocation stddevs;
+/// allocations round to whole rows, so in practice the sample is the same.)
+pub fn stratified_sample_with_threads(
+    table: &Table,
+    column: &str,
+    allocation: &Allocation,
+    seed: u64,
+    threads: usize,
+) -> Result<Sample, StorageError> {
     let col_idx = table.schema().index_of(column)?;
     let measure_idx = match allocation {
         Allocation::Neyman { measure, .. } => Some(table.schema().index_of(measure)?),
@@ -74,20 +91,63 @@ pub fn stratified_sample(
         measure: Moments,
     }
     let mut strata: HashMap<u64, StratumAcc> = HashMap::new();
-    for (bi, block) in table.iter_blocks() {
-        let keys = block.column(col_idx);
-        for ri in 0..block.len() {
-            let key = keys.get(ri);
-            let h = aqp_expr::stable_hash64(&key);
-            let acc = strata.entry(h).or_insert_with(|| StratumAcc {
-                key,
-                coords: Vec::new(),
-                measure: Moments::new(),
-            });
-            acc.coords.push((bi, ri));
-            if let Some(mi) = measure_idx {
-                if let Some(v) = block.column(mi).f64_at(ri) {
-                    acc.measure.push(v);
+    if threads <= 1 {
+        for (bi, block) in table.iter_blocks() {
+            let keys = block.column(col_idx);
+            for ri in 0..block.len() {
+                let key = keys.get(ri);
+                let h = aqp_expr::stable_hash64(&key);
+                let acc = strata.entry(h).or_insert_with(|| StratumAcc {
+                    key,
+                    coords: Vec::new(),
+                    measure: Moments::new(),
+                });
+                acc.coords.push((bi, ri));
+                if let Some(mi) = measure_idx {
+                    if let Some(v) = block.column(mi).f64_at(ri) {
+                        acc.measure.push(v);
+                    }
+                }
+            }
+        }
+    } else {
+        let blocks: Vec<(usize, std::sync::Arc<aqp_storage::Block>)> = table
+            .iter_blocks()
+            .map(|(bi, b)| (bi, std::sync::Arc::clone(b)))
+            .collect();
+        let partials = aqp_engine::pool::parallel_map(blocks, threads, |_, (bi, block)| {
+            let mut local: HashMap<u64, StratumAcc> = HashMap::new();
+            let keys = block.column(col_idx);
+            for ri in 0..block.len() {
+                let key = keys.get(ri);
+                let h = aqp_expr::stable_hash64(&key);
+                let acc = local.entry(h).or_insert_with(|| StratumAcc {
+                    key,
+                    coords: Vec::new(),
+                    measure: Moments::new(),
+                });
+                acc.coords.push((bi, ri));
+                if let Some(mi) = measure_idx {
+                    if let Some(v) = block.column(mi).f64_at(ri) {
+                        acc.measure.push(v);
+                    }
+                }
+            }
+            local
+        });
+        // Merge in block order: per-stratum coords concatenate to exactly
+        // the serial scan order, because each partial holds one block.
+        for part in partials {
+            for (h, acc) in part {
+                match strata.entry(h) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let dst = e.get_mut();
+                        dst.coords.extend(acc.coords);
+                        dst.measure = dst.measure.merge(&acc.measure);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(acc);
+                    }
                 }
             }
         }
@@ -352,6 +412,31 @@ mod tests {
             a.table.column_f64("v").unwrap(),
             b.table.column_f64("v").unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_pass1_matches_serial() {
+        let t = skewed_table();
+        for alloc in [
+            Allocation::Proportional { budget: 120 },
+            Allocation::Congressional { budget: 90 },
+            Allocation::Equal { per_stratum: 7 },
+            Allocation::Neyman {
+                budget: 100,
+                measure: "v".into(),
+            },
+        ] {
+            let serial = stratified_sample(&t, "g", &alloc, 11).unwrap();
+            for threads in [2, 4, 8] {
+                let par = stratified_sample_with_threads(&t, "g", &alloc, 11, threads).unwrap();
+                assert_eq!(
+                    serial.table.column_f64("v").unwrap(),
+                    par.table.column_f64("v").unwrap(),
+                    "threads={threads} alloc={alloc:?}"
+                );
+                assert_eq!(serial.design, par.design, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -369,7 +369,7 @@ mod tests {
         ) {
             prop_assert!(!v.is_empty() && v.len() < 20);
             prop_assert!(v.iter().all(|x| x % 2 == 0));
-            prop_assume!(b || !b);
+            prop_assume!(b | !b);
         }
 
         /// Tuple strategies generate componentwise.
@@ -386,6 +386,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "failed at case")]
+    #[allow(unnameable_test_items)]
     fn failures_panic_with_case_number() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(8))]

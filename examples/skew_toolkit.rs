@@ -12,9 +12,7 @@
 use aqp_core::rewrite::answer_via_rewrite;
 use aqp_core::{AggQuery, AggSpec, LinearAgg};
 use aqp_expr::col;
-use aqp_sampling::{
-    bernoulli_rows, build_outlier_index, distinct_sample, pps_sample,
-};
+use aqp_sampling::{bernoulli_rows, build_outlier_index, distinct_sample, pps_sample};
 use aqp_storage::{Catalog, DataType, Field, Schema, Table, TableBuilder, Value};
 use aqp_workload::Zipf;
 use rand::rngs::SmallRng;

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, and the whole test suite.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo test -q
