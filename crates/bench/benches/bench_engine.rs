@@ -5,10 +5,11 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use aqp_core::{AqpSession, ErrorSpec};
 use aqp_engine::{execute, execute_with, AggExpr, ExecOptions, LogicalPlan, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
-use aqp_workload::{build_star_schema, uniform_table, StarScale};
+use aqp_workload::{build_star_schema, skewed_table, uniform_table, StarScale};
 
 fn catalog() -> Catalog {
     let c = Catalog::new();
@@ -168,11 +169,149 @@ fn write_parallel_report(catalog: &Catalog) {
     eprintln!("wrote {path}");
 }
 
+/// The query shapes the router is probed against: a synopsis hit, a
+/// grouped ad-hoc predicate (online sampling), an ungrouped progressive
+/// shape, and a plan no approximate family supports.
+fn router_plans() -> Vec<(&'static str, LogicalPlan)> {
+    vec![
+        (
+            "synopsis_hit",
+            Query::scan("r")
+                .aggregate(
+                    vec![(col("g"), "g".to_string())],
+                    vec![AggExpr::sum(col("v"), "s")],
+                )
+                .build(),
+        ),
+        (
+            "adhoc_grouped",
+            Query::scan("r")
+                .filter(col("sel").lt(lit(0.5)))
+                .aggregate(
+                    vec![(col("g"), "g".to_string())],
+                    vec![AggExpr::avg(col("v"), "a")],
+                )
+                .build(),
+        ),
+        (
+            "ungrouped_sum",
+            Query::scan("r")
+                .filter(col("sel").lt(lit(0.5)))
+                .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+                .build(),
+        ),
+        (
+            "unsupported_min",
+            Query::scan("r")
+                .aggregate(vec![], vec![AggExpr::min(col("v"), "m")])
+                .build(),
+        ),
+    ]
+}
+
+fn router_catalog() -> Catalog {
+    let c = Catalog::new();
+    c.register(skewed_table("r", 200_000, 50, 1.0, 1024, 13))
+        .unwrap();
+    c
+}
+
+fn bench_router(c: &mut Criterion) {
+    let catalog = router_catalog();
+    let session = AqpSession::new(&catalog);
+    session
+        .offline()
+        .build_stratified(&catalog, "r", "g", 10_000, 1)
+        .unwrap();
+    let spec = ErrorSpec::new(0.05, 0.95);
+    let mut g = c.benchmark_group("router/probe");
+    for (name, plan) in router_plans() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| session.probe(plan, &spec))
+        });
+    }
+    g.finish();
+    write_router_report(&catalog);
+}
+
+/// Emits `BENCH_router.json` at the workspace root: the median cost of a
+/// full eligibility probe per query shape, and the routed-vs-direct
+/// overhead on the synopsis-hit path. The acceptance criterion is that
+/// probing — metadata-only by contract — stays under a millisecond.
+fn write_router_report(catalog: &Catalog) {
+    const REPS: usize = 51;
+    let session = AqpSession::new(catalog);
+    session
+        .offline()
+        .build_stratified(catalog, "r", "g", 10_000, 1)
+        .unwrap();
+    let spec = ErrorSpec::new(0.05, 0.95);
+    let median = |mut times: Vec<f64>| {
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times[times.len() / 2]
+    };
+    let mut shapes = Vec::new();
+    for (name, plan) in router_plans() {
+        let decision = session.probe(&plan, &spec); // warm-up
+        let probe_us = median(
+            (0..REPS)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    session.probe(&plan, &spec);
+                    t0.elapsed().as_secs_f64() * 1e6
+                })
+                .collect(),
+        );
+        shapes.push(format!(
+            "    {{\"shape\": \"{name}\", \"winner\": \"{}\", \"probe_median_us\": {probe_us:.2}, \
+             \"sub_millisecond\": {}}}",
+            decision.winner,
+            probe_us < 1_000.0
+        ));
+    }
+    // Routed-vs-direct overhead on the cheapest path (synopsis hit), where
+    // routing bookkeeping is proportionally largest.
+    let (_, hit_plan) = router_plans().remove(0);
+    session.answer(&hit_plan, &spec, 7).unwrap(); // warm-up
+    let routed_us = median(
+        (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                session.answer(&hit_plan, &spec, 7).unwrap();
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect(),
+    );
+    let hit_query = aqp_core::AggQuery::from_plan(&hit_plan).expect("normalized shape");
+    let direct_us = median(
+        (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                session.offline().answer(&hit_query, &spec).unwrap();
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect(),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"router\",\n  \
+         \"acceptance\": \"eligibility probing is metadata-only and sub-millisecond\",\n  \
+         \"shapes\": [\n{}\n  ],\n  \
+         \"synopsis_hit_overhead\": {{\"routed_median_us\": {routed_us:.2}, \
+         \"direct_median_us\": {direct_us:.2}, \"overhead_us\": {:.2}}}\n}}\n",
+        shapes.join(",\n"),
+        routed_us - direct_us
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
+    std::fs::write(path, json).expect("write router bench report");
+    eprintln!("wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scan_aggregate,
     bench_group_by,
     bench_hash_join,
-    bench_parallel_sweep
+    bench_parallel_sweep,
+    bench_router
 );
 criterion_main!(benches);

@@ -6,6 +6,8 @@ use std::time::Duration;
 use aqp_stats::{ConfidenceInterval, Estimate};
 use aqp_storage::Value;
 
+use crate::technique::{DeclineReason, TechniqueKind};
+
 /// How an answer was produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecutionPath {
@@ -24,6 +26,81 @@ pub enum ExecutionPath {
         /// Synopsis kind, e.g. "stratified-sample", "hll".
         kind: String,
     },
+    /// Progressive online aggregation, stopped once the live interval met
+    /// the spec after processing `fraction` of the table.
+    OlaProgressive {
+        /// Fraction of the table processed before stopping.
+        fraction: f64,
+    },
+    /// Middleware rewrite over a weighted sample drawn at `rate`, executed
+    /// by the unmodified exact engine.
+    MiddlewareRewrite {
+        /// Sampling rate of the weighted sample.
+        rate: f64,
+    },
+}
+
+/// What happened to one routing candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateOutcome {
+    /// The candidate was chosen and produced the answer.
+    Chosen,
+    /// The a-priori eligibility probe declined the query.
+    Ineligible(DeclineReason),
+    /// The candidate was eligible and attempted, but declined at runtime
+    /// (e.g. the pilot-planned rate exceeded the cap).
+    DeclinedAtRuntime(DeclineReason),
+    /// A candidate earlier in the chain already answered; this one was
+    /// eligible but never attempted.
+    NotReached,
+}
+
+/// One candidate the router considered, with its fate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateDecision {
+    /// The technique family.
+    pub kind: TechniqueKind,
+    /// What happened to it.
+    pub outcome: CandidateOutcome,
+}
+
+/// A full account of one routing pass: every candidate considered in
+/// policy order, why each was or wasn't chosen, and the winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingDecision {
+    /// Candidates in the order the policy considered them (the exact
+    /// terminal is always last).
+    pub candidates: Vec<CandidateDecision>,
+    /// The family that produced the answer.
+    pub winner: TechniqueKind,
+}
+
+impl RoutingDecision {
+    /// The recorded outcome for `kind`, if it was considered.
+    pub fn outcome(&self, kind: TechniqueKind) -> Option<&CandidateOutcome> {
+        self.candidates
+            .iter()
+            .find(|c| c.kind == kind)
+            .map(|c| &c.outcome)
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `offline-synopsis: stale (0.30 > 0.10); online-sampling: chosen`.
+    pub fn summary(&self) -> String {
+        self.candidates
+            .iter()
+            .map(|c| {
+                let fate = match &c.outcome {
+                    CandidateOutcome::Chosen => "chosen".to_string(),
+                    CandidateOutcome::Ineligible(r) => format!("ineligible ({r})"),
+                    CandidateOutcome::DeclinedAtRuntime(r) => format!("declined ({r})"),
+                    CandidateOutcome::NotReached => "not reached".to_string(),
+                };
+                format!("{}: {}", c.kind, fate)
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
 }
 
 /// Cost accounting for one answer.
@@ -35,8 +112,17 @@ pub struct ExecutionReport {
     pub population_rows: u64,
     /// Base-table rows actually touched (pilot + final for online AQP).
     pub rows_touched: u64,
+    /// Total rows read from *any* table while producing the answer —
+    /// including dimension tables, synopsis rows, and rows consumed by
+    /// attempts that declined. Recorded for the exact path too, so
+    /// speedup ratios compare like-for-like.
+    pub rows_scanned: u64,
     /// Wall-clock time.
     pub wall: Duration,
+    /// The routing pass that selected this path, when the answer came
+    /// through [`crate::session::AqpSession`]; `None` when a technique
+    /// was called directly.
+    pub routing: Option<RoutingDecision>,
 }
 
 impl ExecutionReport {
@@ -110,6 +196,37 @@ impl ApproximateAnswer {
     }
 }
 
+/// The one shared assembly path for every technique: builds intervals at
+/// `confidence` from each estimate, sorts groups with [`cmp_group_keys`],
+/// and attaches the report. Families must not hand-roll this — the copies
+/// used to drift on group ordering.
+pub fn assemble_answer(
+    group_by: Vec<String>,
+    aggregates: Vec<String>,
+    raw: Vec<(Vec<Value>, Vec<Estimate>)>,
+    confidence: f64,
+    report: ExecutionReport,
+) -> ApproximateAnswer {
+    let mut groups: Vec<GroupResult> = raw
+        .into_iter()
+        .map(|(key, estimates)| {
+            let intervals = estimates.iter().map(|e| e.ci(confidence)).collect();
+            GroupResult {
+                key,
+                estimates,
+                intervals,
+            }
+        })
+        .collect();
+    groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
+    ApproximateAnswer {
+        group_by,
+        aggregates,
+        groups,
+        report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +255,9 @@ mod tests {
                 },
                 population_rows: 1_000_000,
                 rows_touched: 60_000,
+                rows_scanned: 60_000,
                 wall: Duration::from_millis(12),
+                routing: None,
             },
         }
     }
@@ -184,11 +303,72 @@ mod tests {
                 path: ExecutionPath::Exact,
                 population_rows: 10,
                 rows_touched: 10,
+                rows_scanned: 10,
                 wall: Duration::ZERO,
+                routing: None,
             },
         };
         assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
         assert!(a.scalar_estimate("zzz").is_none());
+    }
+
+    #[test]
+    fn assemble_sorts_groups_and_builds_intervals() {
+        let report = ExecutionReport {
+            path: ExecutionPath::Exact,
+            population_rows: 100,
+            rows_touched: 100,
+            rows_scanned: 100,
+            wall: Duration::ZERO,
+            routing: None,
+        };
+        let a = assemble_answer(
+            vec!["g".into()],
+            vec!["s".into()],
+            vec![
+                (vec![Value::str("b")], vec![Estimate::new(2.0, 1.0, 10)]),
+                (vec![Value::str("a")], vec![Estimate::new(1.0, 1.0, 10)]),
+            ],
+            0.95,
+            report,
+        );
+        assert_eq!(a.groups[0].key, vec![Value::str("a")]);
+        assert_eq!(a.groups[1].key, vec![Value::str("b")]);
+        assert_eq!(a.groups[0].intervals.len(), 1);
+        assert!(a.groups[0].intervals[0].contains(1.0));
+    }
+
+    #[test]
+    fn routing_decision_summary_and_lookup() {
+        use crate::technique::DeclineReason;
+        let d = RoutingDecision {
+            candidates: vec![
+                CandidateDecision {
+                    kind: TechniqueKind::OfflineSynopsis,
+                    outcome: CandidateOutcome::Ineligible(DeclineReason::NoSynopsis {
+                        table: "t".into(),
+                    }),
+                },
+                CandidateDecision {
+                    kind: TechniqueKind::OnlineSampling,
+                    outcome: CandidateOutcome::Chosen,
+                },
+                CandidateDecision {
+                    kind: TechniqueKind::Exact,
+                    outcome: CandidateOutcome::NotReached,
+                },
+            ],
+            winner: TechniqueKind::OnlineSampling,
+        };
+        assert_eq!(
+            d.outcome(TechniqueKind::OnlineSampling),
+            Some(&CandidateOutcome::Chosen)
+        );
+        assert!(d.outcome(TechniqueKind::MiddlewareRewrite).is_none());
+        let s = d.summary();
+        assert!(s.contains("offline-synopsis: ineligible"));
+        assert!(s.contains("online-sampling: chosen"));
+        assert!(s.contains("exact: not reached"));
     }
 }
 

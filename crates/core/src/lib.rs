@@ -22,13 +22,21 @@
 //! * [`rewrite`] — VerdictDB-style middleware: the same queries answered
 //!   by rewriting over a weighted sample and running the *unmodified*
 //!   exact engine ([`rewrite::answer_via_rewrite`]).
-//! * [`taxonomy`] — the paper's technique-vs-property matrix, generated
-//!   from the implementation ([`taxonomy::capability_matrix`]).
+//! * [`technique`] — the uniform [`Technique`] trait all four families
+//!   implement: a-priori eligibility with machine-readable decline
+//!   reasons, plus execution that may decline at runtime.
+//! * [`session`] — the routing front door: one [`AqpSession::answer`]
+//!   call picks the best eligible family per query, falls through the
+//!   chain on runtime declines, and records the whole deliberation in the
+//!   answer's [`answer::RoutingDecision`].
+//! * [`taxonomy`] — the paper's technique-vs-property matrix; the four
+//!   routable family rows are derived live from [`Technique::eligibility`]
+//!   probes, so the matrix cannot drift from the code.
 //!
 //! # Quick start
 //!
 //! ```
-//! use aqp_core::{ErrorSpec, OnlineAqp, OnlineConfig};
+//! use aqp_core::{AqpSession, ErrorSpec};
 //! use aqp_engine::{AggExpr, Query};
 //! use aqp_expr::{col, lit};
 //! use aqp_storage::Catalog;
@@ -42,12 +50,14 @@
 //!     .aggregate(vec![], vec![AggExpr::sum(col("v"), "total")])
 //!     .build();
 //!
-//! let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
-//! let answer = aqp
-//!     .answer_plan(&plan, &ErrorSpec::new(0.05, 0.95), 42)
+//! let session = AqpSession::new(&catalog);
+//! let answer = session
+//!     .answer(&plan, &ErrorSpec::new(0.05, 0.95), 42)
 //!     .unwrap();
 //! let est = answer.scalar_estimate("total").unwrap();
 //! assert!(est.value > 0.0);
+//! let routing = answer.report.routing.as_ref().unwrap();
+//! println!("routed to {}: {}", routing.winner, routing.summary());
 //! ```
 
 #![warn(missing_docs)]
@@ -61,13 +71,24 @@ pub mod offline;
 pub mod ola;
 pub mod online;
 pub mod rewrite;
+pub mod session;
 pub mod spec;
 pub mod taxonomy;
+pub mod technique;
 
 pub use aggquery::{AggQuery, AggSpec, JoinSpec, LinearAgg};
-pub use answer::{ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult};
+pub use answer::{
+    ApproximateAnswer, CandidateDecision, CandidateOutcome, ExecutionPath, ExecutionReport,
+    GroupResult, RoutingDecision,
+};
 pub use error::AqpError;
-pub use offline::OfflineStore;
-pub use ola::{OnlineAggregator, RippleJoin};
+pub use offline::{OfflineStore, OfflineTechnique};
+pub use ola::{OlaTechnique, OnlineAggregator, RippleJoin};
 pub use online::{OnlineAqp, OnlineConfig};
+pub use rewrite::RewriteTechnique;
+pub use session::{AqpSession, SessionConfig};
 pub use spec::ErrorSpec;
+pub use technique::{
+    exact_answer, Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind,
+    TechniqueProfile,
+};

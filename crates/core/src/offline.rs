@@ -25,11 +25,12 @@ use aqp_stats::Estimate;
 use aqp_storage::{Catalog, Value};
 
 use crate::aggquery::{AggQuery, LinearAgg};
-use crate::answer::{
-    cmp_group_keys, ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult,
-};
+use crate::answer::{assemble_answer, ApproximateAnswer, ExecutionPath, ExecutionReport};
 use crate::error::AqpError;
 use crate::spec::ErrorSpec;
+use crate::technique::{
+    Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind, TechniqueProfile,
+};
 
 /// A stored stratified-sample synopsis.
 pub struct StratifiedSynopsis {
@@ -323,7 +324,7 @@ impl OfflineStore {
             })
             .collect();
 
-        let mut groups: Vec<GroupResult> = Vec::with_capacity(group_keys.len());
+        let mut raw: Vec<(Vec<Value>, Vec<Estimate>)> = Vec::with_capacity(group_keys.len());
         for (atoms, key_vals) in group_keys {
             let mut estimates = Vec::with_capacity(query.aggregates.len());
             for (ai, agg) in query.aggregates.iter().enumerate() {
@@ -345,28 +346,124 @@ impl OfflineStore {
                 };
                 estimates.push(est);
             }
-            let intervals = estimates.iter().map(|e: &Estimate| e.ci(conf)).collect();
-            groups.push(GroupResult {
-                key: key_vals,
-                estimates,
-                intervals,
-            });
+            raw.push((key_vals, estimates));
         }
-        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
 
-        Ok(ApproximateAnswer {
-            group_by: query.group_by.iter().map(|(_, n)| n.clone()).collect(),
-            aggregates: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
-            groups,
-            report: ExecutionReport {
+        let rows_scanned = sample.num_rows() as u64;
+        Ok(assemble_answer(
+            query.group_by.iter().map(|(_, n)| n.clone()).collect(),
+            query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            raw,
+            conf,
+            ExecutionReport {
                 path: ExecutionPath::OfflineSynopsis {
                     kind: format!("stratified[{}]", syn.column),
                 },
                 population_rows: syn.built_on_rows,
-                rows_touched: sample.num_rows() as u64,
+                rows_touched: rows_scanned,
+                rows_scanned,
                 wall: start.elapsed(),
+                routing: None,
             },
-        })
+        ))
+    }
+
+    /// The stratification column and stored sample size for `table`'s
+    /// stratified synopsis, if one exists. Metadata-only — used by the
+    /// router's eligibility probe.
+    pub fn stratified_meta(&self, table: &str) -> Option<(String, u64)> {
+        self.stratified
+            .read()
+            .get(table)
+            .map(|s| (s.column.clone(), s.sample.num_rows() as u64))
+    }
+}
+
+/// The offline family as the router sees it: [`OfflineStore::answer`]
+/// gated by synopsis existence, stratification match, and freshness.
+pub struct OfflineTechnique<'a> {
+    store: &'a OfflineStore,
+    catalog: &'a Catalog,
+    /// Decline when [`OfflineStore::staleness`] exceeds this.
+    max_staleness: f64,
+}
+
+impl<'a> OfflineTechnique<'a> {
+    /// Wraps a store for routing with the given freshness threshold.
+    pub fn new(store: &'a OfflineStore, catalog: &'a Catalog, max_staleness: f64) -> Self {
+        Self {
+            store,
+            catalog,
+            max_staleness,
+        }
+    }
+}
+
+impl Technique for OfflineTechnique<'_> {
+    fn kind(&self) -> TechniqueKind {
+        TechniqueKind::OfflineSynopsis
+    }
+
+    fn profile(&self) -> TechniqueProfile {
+        TechniqueProfile {
+            answers:
+                "linear aggregates on the synopsized table, grouped by the stratification column",
+            speedup_source: "pre-built stratified sample; no base data touched at query time",
+            implemented_in: "core::offline",
+            guarantee: Guarantee::APriori,
+        }
+    }
+
+    fn eligibility(&self, query: &AggQuery, _spec: &ErrorSpec) -> Eligibility {
+        if !query.joins.is_empty() {
+            return Eligibility::Ineligible(DeclineReason::JoinsUnsupported);
+        }
+        let Some((column, _)) = self.store.stratified_meta(&query.fact_table) else {
+            return Eligibility::Ineligible(DeclineReason::NoSynopsis {
+                table: query.fact_table.clone(),
+            });
+        };
+        // A group-by outside the stratification column would get no
+        // per-group coverage guarantee (the E8 drift failure): decline so
+        // the router prefers a technique that can actually cover it.
+        for (expr, _) in &query.group_by {
+            let matches_stratification =
+                matches!(expr, aqp_expr::Expr::Column(name) if *name == column);
+            if !matches_stratification {
+                return Eligibility::Ineligible(DeclineReason::SynopsisMismatch {
+                    stratified_on: column,
+                    requested: expr.to_string(),
+                });
+            }
+        }
+        match self.store.staleness(self.catalog, &query.fact_table) {
+            Ok(s) if s > self.max_staleness => {
+                Eligibility::Ineligible(DeclineReason::StaleSynopsis {
+                    staleness: s,
+                    max_staleness: self.max_staleness,
+                })
+            }
+            Ok(_) => Eligibility::Eligible,
+            Err(_) => Eligibility::Ineligible(DeclineReason::MissingTable {
+                table: query.fact_table.clone(),
+            }),
+        }
+    }
+
+    fn answer(&self, query: &AggQuery, spec: &ErrorSpec, _seed: u64) -> Result<Attempt, AqpError> {
+        let ans = self.store.answer(query, spec)?;
+        if ans.groups.is_empty() {
+            // The sample has no row matching the predicate: a point the
+            // synopsis cannot speak to. Decline rather than assert "zero".
+            return Ok(Attempt::Declined {
+                rows_scanned: ans.report.rows_scanned,
+                reason: DeclineReason::InsufficientSupport {
+                    rows: 0,
+                    min_rows: 1,
+                },
+            });
+        }
+        Ok(Attempt::Answered(ans))
     }
 }
 

@@ -15,14 +15,21 @@ use rand::SeedableRng;
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use aqp_engine::agg::KeyAtom;
 use aqp_expr::eval::eval_predicate_mask;
 use aqp_expr::Expr;
 use aqp_stats::{Estimate, Moments};
-use aqp_storage::{StorageError, Table};
+use aqp_storage::{Catalog, StorageError, Table};
 
+use crate::aggquery::{AggQuery, LinearAgg};
+use crate::answer::{assemble_answer, ExecutionPath, ExecutionReport};
 use crate::error::AqpError;
+use crate::spec::ErrorSpec;
+use crate::technique::{
+    Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind, TechniqueProfile,
+};
 
 /// Progressive single-table aggregation over a random block permutation.
 pub struct OnlineAggregator {
@@ -168,6 +175,115 @@ impl OnlineAggregator {
             return Estimate::new(0.0, f64::MAX, self.processed as u64);
         }
         aqp_stats::variance::cluster_mean(&totals, &counts, self.order.len() as u64)
+    }
+}
+
+/// The progressive family as the router sees it: a single-table,
+/// ungrouped `SUM`/`AVG` of one column, processed block-by-block until the
+/// live interval meets the spec (a-posteriori — subject to the peeking
+/// caveat documented on [`OnlineAggregator::run_until_spec`]). Grouped and
+/// joined progressive execution exist in this module ([`RippleJoin`]) but
+/// are interactive tools, not contract-driven routing targets.
+pub struct OlaTechnique<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> OlaTechnique<'a> {
+    /// Creates the progressive technique over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog }
+    }
+}
+
+impl Technique for OlaTechnique<'_> {
+    fn kind(&self) -> TechniqueKind {
+        TechniqueKind::OnlineAggregation
+    }
+
+    fn profile(&self) -> TechniqueProfile {
+        TechniqueProfile {
+            answers: "ungrouped single-table SUM/AVG of one column, with predicates",
+            speedup_source: "stop as soon as the live interval meets the spec",
+            implemented_in: "core::ola",
+            guarantee: Guarantee::APosteriori,
+        }
+    }
+
+    fn eligibility(&self, query: &AggQuery, _spec: &ErrorSpec) -> Eligibility {
+        if !query.joins.is_empty() {
+            return Eligibility::Ineligible(DeclineReason::JoinsUnsupported);
+        }
+        if !query.group_by.is_empty() {
+            return Eligibility::Ineligible(DeclineReason::GroupByUnsupported);
+        }
+        let [agg] = query.aggregates.as_slice() else {
+            return Eligibility::Ineligible(DeclineReason::UnsupportedShape {
+                detail: "progressive aggregation serves exactly one aggregate".to_string(),
+            });
+        };
+        if !matches!(agg.kind, LinearAgg::Sum | LinearAgg::Avg)
+            || !matches!(agg.expr, Expr::Column(_))
+        {
+            return Eligibility::Ineligible(DeclineReason::UnsupportedAggregate {
+                alias: agg.alias.clone(),
+                detail: "only SUM/AVG of a bare column".to_string(),
+            });
+        }
+        if self.catalog.get(&query.fact_table).is_err() {
+            return Eligibility::Ineligible(DeclineReason::MissingTable {
+                table: query.fact_table.clone(),
+            });
+        }
+        Eligibility::Eligible
+    }
+
+    fn answer(&self, query: &AggQuery, spec: &ErrorSpec, seed: u64) -> Result<Attempt, AqpError> {
+        let start = Instant::now();
+        let agg = &query.aggregates[0];
+        let Expr::Column(column) = &agg.expr else {
+            return Err(AqpError::Unsupported {
+                detail: "OLA answer called on non-column aggregate".to_string(),
+            });
+        };
+        let fact = self.catalog.get(&query.fact_table)?;
+        let population_rows = fact.row_count() as u64;
+        let mut ola =
+            OnlineAggregator::new(Arc::clone(&fact), column, query.predicate.clone(), seed)?;
+        let estimate = loop {
+            let stepped = ola.step()?;
+            if ola.blocks_processed() >= 2 {
+                let e = match agg.kind {
+                    LinearAgg::Avg => ola.estimate_avg(),
+                    _ => ola.estimate_sum(),
+                };
+                if e.ci(spec.confidence).relative_half_width() <= spec.relative_error {
+                    break e;
+                }
+            }
+            if !stepped {
+                break match agg.kind {
+                    LinearAgg::Avg => ola.estimate_avg(),
+                    _ => ola.estimate_sum(),
+                };
+            }
+        };
+        let rows_scanned = ola.rows_seen();
+        Ok(Attempt::Answered(assemble_answer(
+            vec![],
+            vec![agg.alias.clone()],
+            vec![(vec![], vec![estimate])],
+            spec.confidence,
+            ExecutionReport {
+                path: ExecutionPath::OlaProgressive {
+                    fraction: ola.fraction_processed(),
+                },
+                population_rows,
+                rows_touched: rows_scanned,
+                rows_scanned,
+                wall: start.elapsed(),
+                routing: None,
+            },
+        )))
     }
 }
 

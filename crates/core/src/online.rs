@@ -27,18 +27,24 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use aqp_engine::agg::KeyAtom;
-use aqp_engine::{execute, LogicalPlan};
+use aqp_engine::LogicalPlan;
 use aqp_sampling::bernoulli_blocks;
 use aqp_stats::Estimate;
 use aqp_storage::{Catalog, Value};
 
 use crate::aggquery::{AggQuery, LinearAgg};
-use crate::answer::{
-    cmp_group_keys, ApproximateAnswer, ExecutionPath, ExecutionReport, GroupResult,
-};
+use crate::answer::{assemble_answer, ApproximateAnswer, ExecutionPath, ExecutionReport};
 use crate::error::AqpError;
 use crate::evaluator::StarEvaluator;
 use crate::spec::ErrorSpec;
+use crate::technique::{
+    exact_answer, Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind,
+    TechniqueProfile,
+};
+
+/// Minimum fact-table blocks the two-phase design needs for spread
+/// estimation.
+const MIN_BLOCKS: u64 = 4;
 
 /// Tuning knobs for the online planner.
 #[derive(Debug, Clone, Copy)]
@@ -311,13 +317,37 @@ impl<'a> OnlineAqp<'a> {
         }
     }
 
-    /// Answers a normalized star query with the two-phase sampler.
+    /// Answers a normalized star query with the two-phase sampler,
+    /// falling back to exact execution when the sampler declines.
     pub fn answer(
         &self,
         query: &AggQuery,
         spec: &ErrorSpec,
         seed: u64,
     ) -> Result<ApproximateAnswer, AqpError> {
+        let start = Instant::now();
+        match self.try_sample(query, spec, seed)? {
+            Attempt::Answered(ans) => Ok(ans),
+            Attempt::Declined { rows_scanned, .. } => {
+                let mut ans = self.exact(query, start.elapsed())?;
+                // Charge the failed attempt's pilot to the final bill.
+                ans.report.rows_scanned += rows_scanned;
+                Ok(ans)
+            }
+        }
+    }
+
+    /// Attempts the two-phase sampler with no exact fallback: returns
+    /// [`Attempt::Declined`] with a machine-readable reason (and the rows
+    /// the failed attempt consumed) instead. This is the router-facing
+    /// entry point; [`OnlineAqp::answer`] wraps it with the traditional
+    /// decline-to-exact behavior.
+    pub fn try_sample(
+        &self,
+        query: &AggQuery,
+        spec: &ErrorSpec,
+        seed: u64,
+    ) -> Result<Attempt, AqpError> {
         let start = Instant::now();
         let evaluator = StarEvaluator::new(self.catalog, query)?;
         let fact = evaluator.fact().clone();
@@ -338,8 +368,14 @@ impl<'a> OnlineAqp<'a> {
         // literature's "at least 30 units" rule); adapt the rate upward on
         // small tables.
         let big_m = fact.block_count() as u64;
-        if big_m < 4 {
-            return self.exact(query, start.elapsed());
+        if big_m < MIN_BLOCKS {
+            return Ok(Attempt::Declined {
+                reason: DeclineReason::TableTooSmall {
+                    blocks: big_m,
+                    min_blocks: MIN_BLOCKS,
+                },
+                rows_scanned: 0,
+            });
         }
         let mut pilot_rate = self.config.pilot_rate.max(30.0 / big_m as f64);
         if let (Some(min_rows), false) = (
@@ -361,7 +397,10 @@ impl<'a> OnlineAqp<'a> {
         let (pilot_groups, pilot_blocks) = accumulate(&evaluator, &pilot, self.config.threads)?;
         if pilot_groups.is_empty() || pilot_blocks < 2 {
             // Nothing matched in the pilot: no basis for planning.
-            return self.exact(query, start.elapsed());
+            return Ok(Attempt::Declined {
+                reason: DeclineReason::EmptyPilot,
+                rows_scanned: pilot_rows + dim_rows,
+            });
         }
 
         // ---- Planning ----
@@ -386,7 +425,13 @@ impl<'a> OnlineAqp<'a> {
         }
         if q_final > self.config.max_final_rate {
             // Sampling would not pay off; honor the contract exactly.
-            return self.exact(query, start.elapsed());
+            return Ok(Attempt::Declined {
+                reason: DeclineReason::RateAboveCap {
+                    required: q_final,
+                    cap: self.config.max_final_rate,
+                },
+                rows_scanned: pilot_rows + dim_rows,
+            });
         }
         // Floor the final rate so spread stays estimable (≥ ~20 blocks).
         let q_final = q_final.max(20.0 / big_m as f64).min(1.0);
@@ -404,7 +449,7 @@ impl<'a> OnlineAqp<'a> {
             .split_across((final_groups.len() * query.aggregates.len()).max(1))
             .confidence;
 
-        let mut groups: Vec<GroupResult> = final_groups
+        let raw: Vec<(Vec<Value>, Vec<Estimate>)> = final_groups
             .into_values()
             .map(|acc| {
                 let estimates: Vec<Estimate> = query
@@ -413,30 +458,27 @@ impl<'a> OnlineAqp<'a> {
                     .zip(&acc.totals)
                     .map(|(a, t)| estimate_from_totals(a.kind, t, final_blocks, big_m))
                     .collect();
-                let intervals = estimates.iter().map(|e| e.ci(ci_conf)).collect();
-                GroupResult {
-                    key: acc.key,
-                    estimates,
-                    intervals,
-                }
+                (acc.key, estimates)
             })
             .collect();
-        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
-
-        Ok(ApproximateAnswer {
-            group_by: query.group_by.iter().map(|(_, n)| n.clone()).collect(),
-            aggregates: query.aggregates.iter().map(|a| a.alias.clone()).collect(),
-            groups,
-            report: ExecutionReport {
+        let rows_scanned = pilot_rows + final_rows + dim_rows;
+        Ok(Attempt::Answered(assemble_answer(
+            query.group_by.iter().map(|(_, n)| n.clone()).collect(),
+            query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            raw,
+            ci_conf,
+            ExecutionReport {
                 path: ExecutionPath::OnlineBlockSample {
                     pilot_rate,
                     final_rate: q_final,
                 },
                 population_rows,
-                rows_touched: pilot_rows + final_rows + dim_rows,
+                rows_touched: rows_scanned,
+                rows_scanned,
                 wall: start.elapsed(),
+                routing: None,
             },
-        })
+        )))
     }
 
     /// Exact execution of a normalized query, wrapped as an answer.
@@ -453,66 +495,51 @@ impl<'a> OnlineAqp<'a> {
     /// Exact execution of an arbitrary plan, wrapped as an answer with
     /// zero-width intervals.
     pub fn exact_plan(&self, plan: &LogicalPlan) -> Result<ApproximateAnswer, AqpError> {
-        let start = Instant::now();
-        let result = execute(plan, self.catalog)?;
-        let (group_names, agg_names, key_len) = match plan {
-            LogicalPlan::Aggregate {
-                group_by,
-                aggregates,
-                ..
-            } => (
-                group_by.iter().map(|(_, n)| n.clone()).collect::<Vec<_>>(),
-                aggregates
-                    .iter()
-                    .map(|a| a.alias.clone())
-                    .collect::<Vec<_>>(),
-                group_by.len(),
-            ),
-            _ => (
-                vec![],
-                result
-                    .schema()
-                    .names()
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
-                0,
-            ),
+        exact_answer(self.catalog, plan, None)
+    }
+}
+
+impl Technique for OnlineAqp<'_> {
+    fn kind(&self) -> TechniqueKind {
+        TechniqueKind::OnlineSampling
+    }
+
+    fn profile(&self) -> TechniqueProfile {
+        TechniqueProfile {
+            answers: "linear aggregates over star joins with ad-hoc predicates",
+            speedup_source: "pilot-planned Bernoulli block sampling",
+            implemented_in: "core::online",
+            guarantee: Guarantee::APriori,
+        }
+    }
+
+    fn eligibility(&self, query: &AggQuery, _spec: &ErrorSpec) -> Eligibility {
+        // Metadata-only: the real gates (empty pilot, rate above cap) need
+        // data and surface as runtime declines instead.
+        let Ok(fact) = self.catalog.get(&query.fact_table) else {
+            return Eligibility::Ineligible(DeclineReason::MissingTable {
+                table: query.fact_table.clone(),
+            });
         };
-        let mut groups = Vec::with_capacity(result.num_rows());
-        for row in result.rows() {
-            let key = row[..key_len].to_vec();
-            let estimates: Vec<Estimate> = row[key_len..]
-                .iter()
-                .map(|v| Estimate::exact(v.as_f64().unwrap_or(0.0)))
-                .collect();
-            let intervals = estimates.iter().map(|e| e.ci(0.95)).collect();
-            groups.push(GroupResult {
-                key,
-                estimates,
-                intervals,
+        let blocks = fact.block_count() as u64;
+        if blocks < MIN_BLOCKS {
+            return Eligibility::Ineligible(DeclineReason::TableTooSmall {
+                blocks,
+                min_blocks: MIN_BLOCKS,
             });
         }
-        groups.sort_by(|a, b| cmp_group_keys(&a.key, &b.key));
-        let stats = result.stats();
-        Ok(ApproximateAnswer {
-            group_by: group_names,
-            aggregates: agg_names,
-            groups,
-            report: ExecutionReport {
-                path: ExecutionPath::Exact,
-                population_rows: stats.rows_scanned,
-                rows_touched: stats.rows_scanned,
-                wall: start.elapsed(),
-            },
-        })
+        Eligibility::Eligible
+    }
+
+    fn answer(&self, query: &AggQuery, spec: &ErrorSpec, seed: u64) -> Result<Attempt, AqpError> {
+        self.try_sample(query, spec, seed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aqp_engine::{AggExpr, Query};
+    use aqp_engine::{execute, AggExpr, Query};
     use aqp_expr::{col, lit};
     use aqp_workload::{build_star_schema, uniform_table, StarScale};
 

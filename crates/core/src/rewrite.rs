@@ -17,23 +17,41 @@
 //! `tests/middleware_equivalence.rs` proves the two paths' point values
 //! agree.
 
+use std::time::Instant;
+
 use aqp_engine::{execute, AggExpr, LogicalPlan, Query, ResultSet};
 use aqp_expr::{col, Expr};
-use aqp_sampling::Sample;
-use aqp_storage::Catalog;
+use aqp_sampling::{bernoulli_blocks, Sample};
+use aqp_stats::Estimate;
+use aqp_storage::{Catalog, Value};
 
 use crate::aggquery::{AggQuery, LinearAgg};
+use crate::answer::{assemble_answer, ExecutionPath, ExecutionReport};
 use crate::error::AqpError;
+use crate::spec::ErrorSpec;
+use crate::technique::{
+    Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind, TechniqueProfile,
+};
 
 /// The reserved name the rewritten plan scans instead of the fact table.
 pub const SAMPLE_TABLE_NAME: &str = "__aqp_weighted_sample";
 /// The reserved weight-column name appended to the sample.
 pub const WEIGHT_COLUMN: &str = "__aqp_w";
+/// Alias of the hidden per-group raw-row count appended when the caller
+/// wants support observability (see [`RewriteTechnique`]).
+const SUPPORT_ALIAS: &str = "__aqp_support";
 
 /// Rewrites `query` to run over a weighted sample table registered as
 /// [`SAMPLE_TABLE_NAME`]. Returns the plan only; see [`answer_via_rewrite`]
 /// for the end-to-end path.
 pub fn rewrite_plan(query: &AggQuery) -> LogicalPlan {
+    build_plan(query, false)
+}
+
+/// The rewrite rules, with an optional hidden `COUNT(*)` per group so the
+/// caller can observe how many raw sample rows support each output row
+/// (the gate [`RewriteTechnique`] declines on).
+fn build_plan(query: &AggQuery, with_support: bool) -> LogicalPlan {
     let w = || col(WEIGHT_COLUMN);
     let mut q = Query::scan(SAMPLE_TABLE_NAME);
     for j in &query.joins {
@@ -71,6 +89,10 @@ pub fn rewrite_plan(query: &AggQuery) -> LogicalPlan {
             }
         }
     }
+    if with_support {
+        inner_aggs.push(AggExpr::count_star(SUPPORT_ALIAS));
+        final_exprs.push((col(SUPPORT_ALIAS), SUPPORT_ALIAS.to_string()));
+    }
     q.aggregate(query.group_by.clone(), inner_aggs)
         .project(final_exprs)
         .build()
@@ -88,6 +110,15 @@ pub fn answer_via_rewrite(
     query: &AggQuery,
     sample: &Sample,
 ) -> Result<ResultSet, AqpError> {
+    execute_rewritten(catalog, query, sample, false)
+}
+
+fn execute_rewritten(
+    catalog: &Catalog,
+    query: &AggQuery,
+    sample: &Sample,
+    with_support: bool,
+) -> Result<ResultSet, AqpError> {
     let weighted = sample.to_weighted_table(SAMPLE_TABLE_NAME, WEIGHT_COLUMN)?;
     let scratch = Catalog::new();
     scratch.register(weighted)?;
@@ -95,8 +126,119 @@ pub fn answer_via_rewrite(
         let dim = catalog.get(&j.dim_table)?;
         scratch.register((*dim).clone())?;
     }
-    let plan = rewrite_plan(query);
+    let plan = build_plan(query, with_support);
     Ok(execute(&plan, &scratch)?)
+}
+
+/// The middleware family as the router sees it: a weighted block sample is
+/// drawn at query time at a fixed `rate`, the rewritten plan runs on the
+/// unmodified exact engine, and the output is served as **point
+/// estimates** — no interval is carried (the flat rewrite deliberately
+/// drops the per-block statistics the variance path needs). That is the
+/// VerdictDB trade: maximal deployability and query generality, no error
+/// guarantee — which is why routing policy places it after the
+/// guarantee-carrying families.
+pub struct RewriteTechnique<'a> {
+    catalog: &'a Catalog,
+    /// Bernoulli block-sampling rate of the weighted sample.
+    rate: f64,
+    /// Decline when any output group is supported by fewer raw sample
+    /// rows than this (point estimates from a handful of rows are noise).
+    min_group_support: u64,
+}
+
+impl<'a> RewriteTechnique<'a> {
+    /// Creates the middleware technique over `catalog`.
+    pub fn new(catalog: &'a Catalog, rate: f64, min_group_support: u64) -> Self {
+        Self {
+            catalog,
+            rate,
+            min_group_support,
+        }
+    }
+}
+
+impl Technique for RewriteTechnique<'_> {
+    fn kind(&self) -> TechniqueKind {
+        TechniqueKind::MiddlewareRewrite
+    }
+
+    fn profile(&self) -> TechniqueProfile {
+        TechniqueProfile {
+            answers: "any normalized star linear-aggregate query, rewritten over a weighted sample",
+            speedup_source: "fixed-rate sample through the unmodified exact engine",
+            implemented_in: "core::rewrite",
+            guarantee: Guarantee::PointEstimate,
+        }
+    }
+
+    fn eligibility(&self, query: &AggQuery, _spec: &ErrorSpec) -> Eligibility {
+        // The rewrite covers every normalized shape (joins, predicates,
+        // group-bys); the only a-priori gate is the fact table existing.
+        if self.catalog.get(&query.fact_table).is_err() {
+            return Eligibility::Ineligible(DeclineReason::MissingTable {
+                table: query.fact_table.clone(),
+            });
+        }
+        Eligibility::Eligible
+    }
+
+    fn answer(&self, query: &AggQuery, spec: &ErrorSpec, seed: u64) -> Result<Attempt, AqpError> {
+        let start = Instant::now();
+        let fact = self.catalog.get(&query.fact_table)?;
+        let population_rows = fact.row_count() as u64;
+        let sample = bernoulli_blocks(&fact, self.rate, seed);
+        let dim_rows: u64 = query
+            .joins
+            .iter()
+            .map(|j| {
+                self.catalog
+                    .get(&j.dim_table)
+                    .map(|t| t.row_count() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        let rows_scanned = sample.num_rows() as u64 + dim_rows;
+        let result = execute_rewritten(self.catalog, query, &sample, true)?;
+        let key_len = query.group_by.len();
+        let num_aggs = query.aggregates.len();
+        let mut min_support = u64::MAX;
+        let mut raw: Vec<(Vec<Value>, Vec<Estimate>)> = Vec::with_capacity(result.num_rows());
+        for row in result.rows() {
+            let support = row[key_len + num_aggs].as_f64().unwrap_or(0.0) as u64;
+            min_support = min_support.min(support);
+            let estimates = row[key_len..key_len + num_aggs]
+                .iter()
+                // Point estimate: the spread is unobservable through the
+                // flat rewrite, so the variance is marked unknown.
+                .map(|v| Estimate::new(v.as_f64().unwrap_or(0.0), f64::MAX, support))
+                .collect();
+            raw.push((row[..key_len].to_vec(), estimates));
+        }
+        if raw.is_empty() || min_support < self.min_group_support {
+            return Ok(Attempt::Declined {
+                reason: DeclineReason::InsufficientSupport {
+                    rows: if raw.is_empty() { 0 } else { min_support },
+                    min_rows: self.min_group_support,
+                },
+                rows_scanned,
+            });
+        }
+        Ok(Attempt::Answered(assemble_answer(
+            query.group_by.iter().map(|(_, n)| n.clone()).collect(),
+            query.aggregates.iter().map(|a| a.alias.clone()).collect(),
+            raw,
+            spec.confidence,
+            ExecutionReport {
+                path: ExecutionPath::MiddlewareRewrite { rate: self.rate },
+                population_rows,
+                rows_touched: rows_scanned,
+                rows_scanned,
+                wall: start.elapsed(),
+                routing: None,
+            },
+        )))
+    }
 }
 
 #[cfg(test)]

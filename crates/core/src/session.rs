@@ -1,0 +1,286 @@
+//! The routing front door: one [`AqpSession::answer`] call that picks
+//! among all four AQP families per query, or declines to exact.
+//!
+//! NSB's "no silver bullet" argument is that every technique gives up one
+//! of generality, error guarantees, or performance — so a *system* must
+//! route per query instead of committing to one family. The policy here,
+//! in order:
+//!
+//! 1. **Offline synopsis** — fastest when a fresh, matching stratified
+//!    sample exists (no base data touched); gated on existence, the
+//!    stratification column covering the group-by, and
+//!    [`crate::offline::OfflineStore::staleness`] staying under
+//!    [`SessionConfig::max_staleness`].
+//! 2. **Online sampling** — pilot-planned block sampling with an a-priori
+//!    contract; declines at runtime when the pilot is empty or the
+//!    required rate exceeds the pay-off cap.
+//! 3. **Online aggregation** — progressive execution with an a-posteriori
+//!    stopping rule, for the ungrouped single-table shapes it serves.
+//! 4. **Middleware rewrite** — point estimates through the unmodified
+//!    exact engine; maximal generality, no guarantee, gated on per-group
+//!    sample support.
+//! 5. **Exact** — the terminal; always correct, never fast.
+//!
+//! Guarantee-carrying families outrank the point-estimate middleware;
+//! within the guaranteed ones, cheaper data access outranks costlier. A
+//! runtime decline falls through to the next candidate, and the full
+//! deliberation is recorded in the answer's
+//! [`RoutingDecision`](crate::answer::RoutingDecision).
+
+use aqp_engine::LogicalPlan;
+use aqp_storage::Catalog;
+
+use crate::aggquery::AggQuery;
+use crate::answer::{ApproximateAnswer, CandidateDecision, CandidateOutcome, RoutingDecision};
+use crate::error::AqpError;
+use crate::offline::{OfflineStore, OfflineTechnique};
+use crate::ola::OlaTechnique;
+use crate::online::{OnlineAqp, OnlineConfig};
+use crate::rewrite::RewriteTechnique;
+use crate::spec::ErrorSpec;
+use crate::technique::{exact_answer, Attempt, DeclineReason, Technique, TechniqueKind};
+
+/// Tuning knobs for the routing policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Configuration of the online (pilot-planned) sampler.
+    pub online: OnlineConfig,
+    /// Maximum [`OfflineStore::staleness`] at which a synopsis is trusted.
+    pub max_staleness: f64,
+    /// Bernoulli block rate of the middleware rewrite's query-time sample.
+    pub rewrite_rate: f64,
+    /// Minimum raw sample rows per output group for the rewrite to stand
+    /// behind its point estimates.
+    pub rewrite_min_group_support: u64,
+    /// Whether progressive online aggregation participates in routing.
+    pub progressive: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            online: OnlineConfig::default(),
+            max_staleness: 0.1,
+            rewrite_rate: 0.05,
+            rewrite_min_group_support: 30,
+            progressive: true,
+        }
+    }
+}
+
+/// The unified AQP entry point: owns an [`OfflineStore`] and routes each
+/// query to the best eligible family (see the module docs for the policy).
+pub struct AqpSession<'a> {
+    catalog: &'a Catalog,
+    offline: OfflineStore,
+    config: SessionConfig,
+}
+
+impl<'a> AqpSession<'a> {
+    /// Creates a session with default configuration.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self::with_config(catalog, SessionConfig::default())
+    }
+
+    /// Creates a session with explicit configuration.
+    pub fn with_config(catalog: &'a Catalog, config: SessionConfig) -> Self {
+        Self {
+            catalog,
+            offline: OfflineStore::new(),
+            config,
+        }
+    }
+
+    /// The session's synopsis store — build synopses here to make the
+    /// offline path routable (e.g.
+    /// [`OfflineStore::build_stratified`]).
+    pub fn offline(&self) -> &OfflineStore {
+        &self.offline
+    }
+
+    /// The catalog this session answers over.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The candidate chain in policy order (exact is implicit, last).
+    fn techniques(&self) -> Vec<Box<dyn Technique + '_>> {
+        let mut chain: Vec<Box<dyn Technique + '_>> = vec![
+            Box::new(OfflineTechnique::new(
+                &self.offline,
+                self.catalog,
+                self.config.max_staleness,
+            )),
+            Box::new(OnlineAqp::new(self.catalog, self.config.online)),
+        ];
+        if self.config.progressive {
+            chain.push(Box::new(OlaTechnique::new(self.catalog)));
+        }
+        chain.push(Box::new(RewriteTechnique::new(
+            self.catalog,
+            self.config.rewrite_rate,
+            self.config.rewrite_min_group_support,
+        )));
+        chain
+    }
+
+    /// The decision the router *would* make, from eligibility probes only
+    /// — no base data is touched and nothing is executed. Runtime declines
+    /// are invisible to a probe, so the probed winner is the first
+    /// *eligible* candidate, which the real [`AqpSession::answer`] may
+    /// still fall past.
+    pub fn probe(&self, plan: &LogicalPlan, spec: &ErrorSpec) -> RoutingDecision {
+        let Some(query) = AggQuery::from_plan(plan) else {
+            return self.unsupported_shape_decision();
+        };
+        let mut candidates = Vec::new();
+        let mut winner: Option<TechniqueKind> = None;
+        for t in self.techniques() {
+            let outcome = match t.eligibility(&query, spec) {
+                crate::technique::Eligibility::Eligible => {
+                    if winner.is_none() {
+                        winner = Some(t.kind());
+                        CandidateOutcome::Chosen
+                    } else {
+                        CandidateOutcome::NotReached
+                    }
+                }
+                crate::technique::Eligibility::Ineligible(r) => CandidateOutcome::Ineligible(r),
+            };
+            candidates.push(CandidateDecision {
+                kind: t.kind(),
+                outcome,
+            });
+        }
+        candidates.push(CandidateDecision {
+            kind: TechniqueKind::Exact,
+            outcome: if winner.is_none() {
+                CandidateOutcome::Chosen
+            } else {
+                CandidateOutcome::NotReached
+            },
+        });
+        RoutingDecision {
+            candidates,
+            winner: winner.unwrap_or(TechniqueKind::Exact),
+        }
+    }
+
+    fn unsupported_shape_decision(&self) -> RoutingDecision {
+        let reason = DeclineReason::UnsupportedShape {
+            detail: "plan is not a normalized star linear-aggregate query".to_string(),
+        };
+        let mut candidates: Vec<CandidateDecision> = self
+            .techniques()
+            .iter()
+            .map(|t| CandidateDecision {
+                kind: t.kind(),
+                outcome: CandidateOutcome::Ineligible(reason.clone()),
+            })
+            .collect();
+        candidates.push(CandidateDecision {
+            kind: TechniqueKind::Exact,
+            outcome: CandidateOutcome::Chosen,
+        });
+        RoutingDecision {
+            candidates,
+            winner: TechniqueKind::Exact,
+        }
+    }
+
+    /// Routes and answers: normalizes the plan once, walks the candidate
+    /// chain (falling through on runtime declines), and returns the
+    /// winner's answer with the full [`RoutingDecision`] — and the cost of
+    /// any failed attempts — folded into its report.
+    pub fn answer(
+        &self,
+        plan: &LogicalPlan,
+        spec: &ErrorSpec,
+        seed: u64,
+    ) -> Result<ApproximateAnswer, AqpError> {
+        let Some(query) = AggQuery::from_plan(plan) else {
+            let mut ans = exact_answer(self.catalog, plan, None)?;
+            ans.report.routing = Some(self.unsupported_shape_decision());
+            return Ok(ans);
+        };
+        let techniques = self.techniques();
+        let mut candidates: Vec<CandidateDecision> = Vec::with_capacity(techniques.len() + 1);
+        let mut declined_rows: u64 = 0;
+        let mut answered: Option<ApproximateAnswer> = None;
+        for t in &techniques {
+            if answered.is_some() {
+                // Already won — record the remaining candidates' a-priori
+                // verdicts so the decision names everyone considered.
+                let outcome = match t.eligibility(&query, spec) {
+                    crate::technique::Eligibility::Eligible => CandidateOutcome::NotReached,
+                    crate::technique::Eligibility::Ineligible(r) => CandidateOutcome::Ineligible(r),
+                };
+                candidates.push(CandidateDecision {
+                    kind: t.kind(),
+                    outcome,
+                });
+                continue;
+            }
+            match t.eligibility(&query, spec) {
+                crate::technique::Eligibility::Ineligible(r) => {
+                    candidates.push(CandidateDecision {
+                        kind: t.kind(),
+                        outcome: CandidateOutcome::Ineligible(r),
+                    });
+                }
+                crate::technique::Eligibility::Eligible => match t.answer(&query, spec, seed)? {
+                    Attempt::Answered(ans) => {
+                        candidates.push(CandidateDecision {
+                            kind: t.kind(),
+                            outcome: CandidateOutcome::Chosen,
+                        });
+                        answered = Some(ans);
+                    }
+                    Attempt::Declined {
+                        reason,
+                        rows_scanned,
+                    } => {
+                        declined_rows += rows_scanned;
+                        candidates.push(CandidateDecision {
+                            kind: t.kind(),
+                            outcome: CandidateOutcome::DeclinedAtRuntime(reason),
+                        });
+                    }
+                },
+            }
+        }
+        let winner = match &answered {
+            Some(_) => candidates
+                .iter()
+                .find(|c| c.outcome == CandidateOutcome::Chosen)
+                .map(|c| c.kind)
+                .expect("answered implies a chosen candidate"),
+            None => TechniqueKind::Exact,
+        };
+        candidates.push(CandidateDecision {
+            kind: TechniqueKind::Exact,
+            outcome: if answered.is_some() {
+                CandidateOutcome::NotReached
+            } else {
+                CandidateOutcome::Chosen
+            },
+        });
+        let decision = RoutingDecision { candidates, winner };
+        let mut ans = match answered {
+            Some(ans) => ans,
+            None => {
+                // Every family passed: run exactly, with the fact-table
+                // population so speedup ratios compare like-for-like.
+                let population = self
+                    .catalog
+                    .get(&query.fact_table)
+                    .map(|t| t.row_count() as u64)
+                    .ok();
+                exact_answer(self.catalog, &query.to_plan(), population)?
+            }
+        };
+        ans.report.rows_scanned += declined_rows;
+        ans.report.routing = Some(decision);
+        Ok(ans)
+    }
+}

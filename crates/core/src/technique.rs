@@ -1,0 +1,372 @@
+//! The shared technique abstraction behind the [`crate::session::AqpSession`]
+//! front door.
+//!
+//! NSB's thesis is that no single AQP technique wins on generality,
+//! accuracy, and performance at once — which means a faithful *system*
+//! needs a layer the survey implies but never names: a uniform interface
+//! under which every family can state, **before running**, whether it can
+//! serve a query ([`Technique::eligibility`]) and, at runtime, either
+//! produce an answer or decline with a machine-readable reason
+//! ([`Technique::answer`] returning [`Attempt`]). The router in
+//! [`crate::session`] folds those answers into a policy; the taxonomy in
+//! [`crate::taxonomy`] re-derives the paper's capability matrix from the
+//! same eligibility probes, so the matrix cannot drift from the code.
+//!
+//! The four families implementing this trait:
+//!
+//! * [`crate::online::OnlineAqp`] — pilot-planned two-phase block sampling
+//!   (a-priori error contract);
+//! * [`crate::offline::OfflineTechnique`] — pre-built stratified synopses
+//!   with freshness gating;
+//! * [`crate::ola::OlaTechnique`] — progressive online aggregation
+//!   (a-posteriori: stop when the live interval is narrow enough);
+//! * [`crate::rewrite::RewriteTechnique`] — VerdictDB-style middleware
+//!   rewriting over a weighted sample (point estimates, no intervals).
+
+use std::fmt;
+use std::time::Instant;
+
+use aqp_engine::{execute, LogicalPlan};
+use aqp_stats::Estimate;
+use aqp_storage::Catalog;
+
+use crate::aggquery::AggQuery;
+use crate::answer::{assemble_answer, ApproximateAnswer, ExecutionPath, ExecutionReport};
+use crate::error::AqpError;
+use crate::spec::ErrorSpec;
+
+/// Identifies one routable AQP family (plus the exact terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechniqueKind {
+    /// Pre-built offline synopsis ([`crate::offline::OfflineStore`]).
+    OfflineSynopsis,
+    /// Pilot-planned two-phase online sampling ([`crate::online::OnlineAqp`]).
+    OnlineSampling,
+    /// Progressive online aggregation ([`crate::ola::OnlineAggregator`]).
+    OnlineAggregation,
+    /// Middleware rewrite over a weighted sample ([`crate::rewrite`]).
+    MiddlewareRewrite,
+    /// Exact execution — the terminal every chain ends in.
+    Exact,
+}
+
+impl TechniqueKind {
+    /// Stable kebab-case name (used in reports, logs, and BENCH json).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OfflineSynopsis => "offline-synopsis",
+            Self::OnlineSampling => "online-sampling",
+            Self::OnlineAggregation => "online-aggregation",
+            Self::MiddlewareRewrite => "rewrite-middleware",
+            Self::Exact => "exact",
+        }
+    }
+}
+
+impl fmt::Display for TechniqueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a technique cannot (or would not) serve a query — machine-readable,
+/// so routing decisions and the capability matrix can be derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclineReason {
+    /// The plan is outside the normalized star linear-aggregate shape.
+    UnsupportedShape {
+        /// What about the shape is unsupported.
+        detail: String,
+    },
+    /// One of the query's aggregates is outside what the technique covers.
+    UnsupportedAggregate {
+        /// Alias of the offending aggregate.
+        alias: String,
+        /// What the technique would have needed.
+        detail: String,
+    },
+    /// The technique cannot serve queries with joins.
+    JoinsUnsupported,
+    /// The technique cannot serve grouped queries.
+    GroupByUnsupported,
+    /// No synopsis has been built for the fact table.
+    NoSynopsis {
+        /// The table lacking a synopsis.
+        table: String,
+    },
+    /// A synopsis exists but was stratified on a different column set than
+    /// the query groups by — per-group coverage would be silently lost
+    /// (the E8 group-drift failure mode).
+    SynopsisMismatch {
+        /// Column the synopsis is stratified on.
+        stratified_on: String,
+        /// Column(s) the query groups by.
+        requested: String,
+    },
+    /// The synopsis is too stale to trust (base data moved on).
+    StaleSynopsis {
+        /// Relative row-count divergence (see [`crate::offline::OfflineStore::staleness`]).
+        staleness: f64,
+        /// The routing policy's freshness threshold.
+        max_staleness: f64,
+    },
+    /// The table is too small for the design's spread estimation.
+    TableTooSmall {
+        /// Blocks in the fact table.
+        blocks: u64,
+        /// Minimum blocks the design needs.
+        min_blocks: u64,
+    },
+    /// The pilot sample matched nothing — no basis for planning.
+    EmptyPilot,
+    /// The planned sampling rate exceeds the pay-off cap; sampling would
+    /// not beat exact execution while honoring the contract.
+    RateAboveCap {
+        /// The rate the error spec would require.
+        required: f64,
+        /// The configured cap.
+        cap: f64,
+    },
+    /// Too few sample rows support the answer for it to be trustworthy.
+    InsufficientSupport {
+        /// Smallest per-group supporting row count observed.
+        rows: u64,
+        /// The configured minimum.
+        min_rows: u64,
+    },
+    /// The referenced table does not exist in the catalog.
+    MissingTable {
+        /// The missing table.
+        table: String,
+    },
+}
+
+impl fmt::Display for DeclineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedShape { detail } => write!(f, "unsupported plan shape: {detail}"),
+            Self::UnsupportedAggregate { alias, detail } => {
+                write!(f, "aggregate `{alias}` unsupported: {detail}")
+            }
+            Self::JoinsUnsupported => write!(f, "joins unsupported"),
+            Self::GroupByUnsupported => write!(f, "GROUP BY unsupported"),
+            Self::NoSynopsis { table } => write!(f, "no synopsis for `{table}`"),
+            Self::SynopsisMismatch {
+                stratified_on,
+                requested,
+            } => write!(
+                f,
+                "synopsis stratified on `{stratified_on}`, query groups by `{requested}`"
+            ),
+            Self::StaleSynopsis {
+                staleness,
+                max_staleness,
+            } => write!(f, "synopsis stale ({staleness:.2} > {max_staleness:.2})"),
+            Self::TableTooSmall { blocks, min_blocks } => {
+                write!(f, "table too small ({blocks} blocks < {min_blocks})")
+            }
+            Self::EmptyPilot => write!(f, "pilot sample matched nothing"),
+            Self::RateAboveCap { required, cap } => {
+                write!(f, "required rate {required:.3} exceeds cap {cap:.3}")
+            }
+            Self::InsufficientSupport { rows, min_rows } => {
+                write!(f, "sample support {rows} rows < minimum {min_rows}")
+            }
+            Self::MissingTable { table } => write!(f, "table `{table}` not found"),
+        }
+    }
+}
+
+/// A technique's a-priori verdict on whether it can serve a query under a
+/// spec. Cheap by contract: eligibility probes must not touch base data
+/// (the router runs every family's probe on every query).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Eligibility {
+    /// The technique can attempt the query (it may still decline at
+    /// runtime — see [`Attempt::Declined`]).
+    Eligible,
+    /// The technique cannot serve the query, and why.
+    Ineligible(DeclineReason),
+}
+
+impl Eligibility {
+    /// Whether this verdict is [`Eligibility::Eligible`].
+    pub fn is_eligible(&self) -> bool {
+        matches!(self, Self::Eligible)
+    }
+}
+
+/// The error-guarantee class a technique offers — one of NSB's three axes,
+/// carried on the trait so the capability matrix derives from code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// Error contract honored *before* execution (pilot-planned rates,
+    /// design-based synopsis estimators).
+    APriori,
+    /// Error known only *after* (or during) execution — progressive
+    /// intervals with the peeking caveat.
+    APosteriori,
+    /// Point estimates only; no interval is carried.
+    PointEstimate,
+}
+
+/// Static self-description of a technique, for the derived taxonomy.
+#[derive(Debug, Clone, Copy)]
+pub struct TechniqueProfile {
+    /// What queries the technique answers.
+    pub answers: &'static str,
+    /// Where its speedup comes from.
+    pub speedup_source: &'static str,
+    /// Which module implements it.
+    pub implemented_in: &'static str,
+    /// The error-guarantee class it offers.
+    pub guarantee: Guarantee,
+}
+
+/// The outcome of asking an eligible technique to answer.
+#[derive(Debug, Clone)]
+pub enum Attempt {
+    /// The technique produced an answer.
+    Answered(ApproximateAnswer),
+    /// The technique discovered at runtime that it cannot honor the
+    /// contract (e.g. the pilot-planned rate exceeded the cap) and
+    /// declines; the router falls through to the next candidate.
+    Declined {
+        /// The machine-readable reason.
+        reason: DeclineReason,
+        /// Base-table rows the failed attempt consumed (pilot samples,
+        /// probe scans) — charged to the final answer's accounting so
+        /// routed costs stay honest.
+        rows_scanned: u64,
+    },
+}
+
+/// One AQP family as the router sees it: a-priori eligibility with
+/// machine-readable declines, plus execution that may decline at runtime.
+pub trait Technique {
+    /// Which family this is.
+    fn kind(&self) -> TechniqueKind;
+
+    /// Static self-description (feeds [`crate::taxonomy`]).
+    fn profile(&self) -> TechniqueProfile;
+
+    /// Cheap a-priori verdict: can this technique serve `query` under
+    /// `spec`? Must not touch base-table data.
+    fn eligibility(&self, query: &AggQuery, spec: &ErrorSpec) -> Eligibility;
+
+    /// Attempts the query. Returns [`Attempt::Declined`] for contract
+    /// failures discovered at runtime; `Err` only for genuine faults
+    /// (missing columns, storage errors).
+    fn answer(&self, query: &AggQuery, spec: &ErrorSpec, seed: u64) -> Result<Attempt, AqpError>;
+}
+
+/// Exact execution of an arbitrary plan, wrapped as an [`ApproximateAnswer`]
+/// with zero-width intervals — the shared terminal every technique chain
+/// (and every per-family exact fallback) ends in.
+///
+/// `population_rows` overrides the report's population denominator; pass
+/// the fact-table row count when the plan is a normalized star query so
+/// speedup ratios against sampled paths compare like-for-like. When
+/// `None`, the engine's scan count is used (an exact run touches exactly
+/// what it scans).
+pub fn exact_answer(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    population_rows: Option<u64>,
+) -> Result<ApproximateAnswer, AqpError> {
+    let start = Instant::now();
+    let result = execute(plan, catalog)?;
+    let (group_names, agg_names, key_len) = match plan {
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => (
+            group_by.iter().map(|(_, n)| n.clone()).collect::<Vec<_>>(),
+            aggregates
+                .iter()
+                .map(|a| a.alias.clone())
+                .collect::<Vec<_>>(),
+            group_by.len(),
+        ),
+        _ => (
+            vec![],
+            result
+                .schema()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            0,
+        ),
+    };
+    let raw: Vec<(Vec<aqp_storage::Value>, Vec<Estimate>)> = result
+        .rows()
+        .into_iter()
+        .map(|row| {
+            let key = row[..key_len].to_vec();
+            let estimates = row[key_len..]
+                .iter()
+                .map(|v| Estimate::exact(v.as_f64().unwrap_or(0.0)))
+                .collect();
+            (key, estimates)
+        })
+        .collect();
+    let rows_scanned = result.stats().rows_scanned;
+    Ok(assemble_answer(
+        group_names,
+        agg_names,
+        raw,
+        0.95,
+        ExecutionReport {
+            path: ExecutionPath::Exact,
+            population_rows: population_rows.unwrap_or(rows_scanned),
+            rows_touched: rows_scanned,
+            rows_scanned,
+            wall: start.elapsed(),
+            routing: None,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TechniqueKind::OfflineSynopsis.name(), "offline-synopsis");
+        assert_eq!(TechniqueKind::OnlineSampling.name(), "online-sampling");
+        assert_eq!(
+            TechniqueKind::OnlineAggregation.name(),
+            "online-aggregation"
+        );
+        assert_eq!(
+            TechniqueKind::MiddlewareRewrite.name(),
+            "rewrite-middleware"
+        );
+        assert_eq!(TechniqueKind::Exact.name(), "exact");
+    }
+
+    #[test]
+    fn decline_reasons_render() {
+        let r = DeclineReason::RateAboveCap {
+            required: 0.45,
+            cap: 0.2,
+        };
+        assert!(r.to_string().contains("0.450"));
+        assert!(DeclineReason::EmptyPilot.to_string().contains("pilot"));
+        assert!(DeclineReason::StaleSynopsis {
+            staleness: 0.3,
+            max_staleness: 0.1
+        }
+        .to_string()
+        .contains("stale"));
+    }
+
+    #[test]
+    fn eligibility_predicate() {
+        assert!(Eligibility::Eligible.is_eligible());
+        assert!(!Eligibility::Ineligible(DeclineReason::JoinsUnsupported).is_eligible());
+    }
+}

@@ -1,12 +1,12 @@
-//! Quickstart: ask an aggregation query with an error contract and get an
-//! approximate answer with a confidence interval, orders of magnitude
-//! cheaper than the exact scan.
+//! Quickstart: open an `AqpSession`, ask an aggregation query with an
+//! error contract, and let the router pick the cheapest technique whose
+//! guarantee covers it — orders of magnitude cheaper than the exact scan.
 //!
 //! ```sh
 //! cargo run --release -p aqp-bench --example quickstart
 //! ```
 
-use aqp_core::{ErrorSpec, ExecutionPath, OnlineAqp, OnlineConfig};
+use aqp_core::{AqpSession, ErrorSpec, ExecutionPath};
 use aqp_engine::{execute, AggExpr, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
@@ -40,9 +40,14 @@ fn main() {
         exact.stats().rows_scanned
     );
 
-    // 4. Approximate answer under the contract.
-    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
-    let answer = aqp.answer_plan(&plan, &spec, 7).unwrap();
+    // 4. One front door: the session probes every family's eligibility and
+    //    routes to the first whose guarantee covers the contract.
+    let session = AqpSession::new(&catalog);
+    let answer = session.answer(&plan, &spec, 7).unwrap();
+    let routing = answer.report.routing.as_ref().unwrap();
+    println!("\nrouting      : {}", routing.summary());
+    println!("winner       : {}", routing.winner);
+
     let est = answer.scalar_estimate("total").unwrap();
     let ci = &answer.global().intervals[0];
     println!(
@@ -50,8 +55,8 @@ fn main() {
         est.value, ci.lo, ci.hi
     );
     println!(
-        "approx cost  : {} rows touched ({:.2}% of the table) in {:?}",
-        answer.report.rows_touched,
+        "approx cost  : {} rows scanned ({:.2}% of the table) in {:?}",
+        answer.report.rows_scanned,
         100.0 * answer.report.touched_fraction(),
         answer.report.wall,
     );

@@ -1,12 +1,14 @@
 //! A BI-dashboard scenario over the star schema: grouped revenue queries
-//! with joins, answered three ways — exactly, by query-time sampling, and
-//! from an offline stratified synopsis — showing the trade-offs NSB maps.
+//! with joins, all asked through one routing `AqpSession`. The session
+//! serves the single-table tile from its pre-built stratified synopsis and
+//! the join tile by query-time sampling — NSB's generality boundary,
+//! negotiated per query by the router.
 //!
 //! ```sh
 //! cargo run --release -p aqp-bench --example revenue_dashboard
 //! ```
 
-use aqp_core::{AggQuery, ErrorSpec, OfflineStore, OnlineAqp, OnlineConfig};
+use aqp_core::{AqpSession, ErrorSpec};
 use aqp_engine::{execute, AggExpr, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
@@ -44,12 +46,13 @@ fn main() {
         .build();
 
     let spec = ErrorSpec::new(0.05, 0.95);
-    let aqp = OnlineAqp::new(&catalog, OnlineConfig::default());
 
-    // Offline path: a stratified sample pre-built on the anticipated
-    // grouping column.
-    let offline = OfflineStore::new();
-    offline
+    // One session for the whole dashboard. The stratified synopsis is
+    // pre-built on the anticipated grouping column; the router will use it
+    // whenever a tile's shape and freshness allow.
+    let session = AqpSession::new(&catalog);
+    session
+        .offline()
         .build_stratified(&catalog, "lineitem", "l_shipmode", 20_000, 5)
         .unwrap();
 
@@ -67,17 +70,17 @@ fn main() {
             exact.stats().rows_scanned
         );
 
-        let ans = aqp.answer_plan(plan, &spec, 9).unwrap();
+        let ans = session.answer(plan, &spec, 9).unwrap();
+        let routing = ans.report.routing.as_ref().unwrap();
+        println!("routed to {}: {}", routing.winner, routing.summary());
         println!(
-            "online AQP ({:?}): {} groups in {:?}, touched {:.2}% of the data",
-            ans.report.path,
+            "{} groups in {:?}, {} rows scanned ({:.2}% of the data)",
             ans.groups.len(),
             ans.report.wall,
+            ans.report.rows_scanned,
             100.0 * ans.report.touched_fraction(),
         );
-        for (row, g) in exact.rows().iter().zip(&ans.groups) {
-            let truth = row[exact.rows()[0].len() - 2].as_f64().unwrap_or(0.0);
-            let _ = truth;
+        for g in &ans.groups {
             let key = &g.key[0];
             let est = &g.estimates[0];
             let ci = &g.intervals[0];
@@ -86,20 +89,6 @@ fn main() {
                 est.value,
                 100.0 * ci.relative_half_width(),
             );
-        }
-
-        // The offline synopsis can serve the single-table tile instantly,
-        // but must decline the join — NSB's generality boundary.
-        if let Some(q) = AggQuery::from_plan(plan) {
-            match offline.answer(&q, &spec) {
-                Ok(off) => println!(
-                    "offline synopsis: {} groups from {} pre-built rows in {:?}",
-                    off.groups.len(),
-                    off.report.rows_touched,
-                    off.report.wall,
-                ),
-                Err(e) => println!("offline synopsis: declined ({e})"),
-            }
         }
         println!();
     }
