@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use aqp_obs::timing::median_us;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use aqp_core::{AqpSession, ErrorSpec};
@@ -130,15 +131,8 @@ fn write_parallel_report(catalog: &Catalog) {
         for threads in SWEEP_THREADS {
             let opts = ExecOptions::with_threads(threads);
             execute_with(&plan, catalog, opts).unwrap(); // warm-up
-            let mut times: Vec<f64> = (0..REPS)
-                .map(|_| {
-                    let t0 = Instant::now();
-                    execute_with(&plan, catalog, opts).unwrap();
-                    t0.elapsed().as_secs_f64() * 1e3
-                })
-                .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            medians.push((threads, times[REPS / 2]));
+            let (_, us) = median_us(REPS, || execute_with(&plan, catalog, opts).unwrap());
+            medians.push((threads, us / 1e3));
         }
         let serial_ms = medians[0].1;
         let entries: Vec<String> = medians
@@ -246,22 +240,12 @@ fn write_router_report(catalog: &Catalog) {
         .build_stratified(catalog, "r", "g", 10_000, 1)
         .unwrap();
     let spec = ErrorSpec::new(0.05, 0.95);
-    let median = |mut times: Vec<f64>| {
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        times[times.len() / 2]
-    };
     let mut shapes = Vec::new();
     for (name, plan) in router_plans() {
         let decision = session.probe(&plan, &spec); // warm-up
-        let probe_us = median(
-            (0..REPS)
-                .map(|_| {
-                    let t0 = Instant::now();
-                    session.probe(&plan, &spec);
-                    t0.elapsed().as_secs_f64() * 1e6
-                })
-                .collect(),
-        );
+        let (_, probe_us) = median_us(REPS, || {
+            session.probe(&plan, &spec);
+        });
         shapes.push(format!(
             "    {{\"shape\": \"{name}\", \"winner\": \"{}\", \"probe_median_us\": {probe_us:.2}, \
              \"sub_millisecond\": {}}}",
@@ -273,25 +257,13 @@ fn write_router_report(catalog: &Catalog) {
     // routing bookkeeping is proportionally largest.
     let (_, hit_plan) = router_plans().remove(0);
     session.answer(&hit_plan, &spec, 7).unwrap(); // warm-up
-    let routed_us = median(
-        (0..REPS)
-            .map(|_| {
-                let t0 = Instant::now();
-                session.answer(&hit_plan, &spec, 7).unwrap();
-                t0.elapsed().as_secs_f64() * 1e6
-            })
-            .collect(),
-    );
+    let (_, routed_us) = median_us(REPS, || {
+        session.answer(&hit_plan, &spec, 7).unwrap();
+    });
     let hit_query = aqp_core::AggQuery::from_plan(&hit_plan).expect("normalized shape");
-    let direct_us = median(
-        (0..REPS)
-            .map(|_| {
-                let t0 = Instant::now();
-                session.offline().answer(&hit_query, &spec).unwrap();
-                t0.elapsed().as_secs_f64() * 1e6
-            })
-            .collect(),
-    );
+    let (_, direct_us) = median_us(REPS, || {
+        session.offline().answer(&hit_query, &spec).unwrap();
+    });
     let json = format!(
         "{{\n  \"bench\": \"router\",\n  \
          \"acceptance\": \"eligibility probing is metadata-only and sub-millisecond\",\n  \
@@ -306,12 +278,80 @@ fn write_router_report(catalog: &Catalog) {
     eprintln!("wrote {path}");
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    let catalog = catalog();
+    let plan = sweep_plans().swap_remove(1).1; // group_by_1k
+    let opts = ExecOptions::with_threads(4);
+    // Criterion only measures the disabled path: measuring with tracing on
+    // under Criterion's iteration counts would accumulate millions of span
+    // records. The enabled cost is measured with bounded reps (and drains)
+    // in write_obs_report.
+    aqp_obs::set_enabled(false);
+    c.bench_function("obs/disabled_group_by_1k", |b| {
+        b.iter(|| execute_with(&plan, &catalog, opts).unwrap())
+    });
+    write_obs_report(&catalog);
+}
+
+/// Emits `BENCH_obs.json` at the workspace root: the aggregate-workload
+/// cost with the tracer off vs on, the spans one query emits, the
+/// tight-loop cost of a disabled span, and the projected no-op overhead —
+/// the acceptance criterion is that the disabled tracer costs <3% of the
+/// bench_engine aggregate workload.
+fn write_obs_report(catalog: &Catalog) {
+    const REPS: usize = 15;
+    let (name, plan) = sweep_plans().swap_remove(1); // group_by_1k
+    let opts = ExecOptions::with_threads(4);
+    execute_with(&plan, catalog, opts).unwrap(); // warm-up
+    aqp_obs::set_enabled(false);
+    aqp_obs::drain();
+    let (_, off_us) = median_us(REPS, || {
+        execute_with(&plan, catalog, opts).unwrap();
+    });
+    aqp_obs::set_enabled(true);
+    aqp_obs::drain();
+    execute_with(&plan, catalog, opts).unwrap();
+    let spans_per_query = aqp_obs::drain().len();
+    // Each timed run drains its records: the active cost includes both
+    // recording and collection, and the buffers stay bounded.
+    let (_, on_us) = median_us(REPS, || {
+        execute_with(&plan, catalog, opts).unwrap();
+        aqp_obs::drain();
+    });
+    aqp_obs::set_enabled(false);
+    aqp_obs::drain();
+    // Tight-loop cost of one disabled span (open + drop).
+    let iters = 200_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(aqp_obs::span("noop"));
+    }
+    let noop_ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+    let projected_noop_pct = spans_per_query as f64 * noop_ns / (off_us * 1e3) * 100.0;
+    let active_pct = (on_us - off_us) / off_us * 100.0;
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \
+         \"acceptance\": \"disabled tracer costs <3% on the bench_engine aggregate workload\",\n  \
+         \"workload\": \"{name}\",\n  \"threads\": 4,\n  \
+         \"off_median_us\": {off_us:.2},\n  \"on_median_us\": {on_us:.2},\n  \
+         \"spans_per_query\": {spans_per_query},\n  \"noop_span_ns\": {noop_ns:.2},\n  \
+         \"projected_noop_overhead_pct\": {projected_noop_pct:.4},\n  \
+         \"noop_within_budget\": {},\n  \
+         \"active_collector_overhead_pct\": {active_pct:.2}\n}}\n",
+        projected_noop_pct < 3.0
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, json).expect("write obs bench report");
+    eprintln!("wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scan_aggregate,
     bench_group_by,
     bench_hash_join,
     bench_parallel_sweep,
-    bench_router
+    bench_router,
+    bench_obs_overhead
 );
 criterion_main!(benches);

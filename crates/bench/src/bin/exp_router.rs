@@ -6,8 +6,6 @@
 //! directly. The router should match the best forced technique on each
 //! workload without being told which one that is.
 
-use std::time::Instant;
-
 use aqp_bench::TablePrinter;
 use aqp_core::{
     exact_answer, AggQuery, ApproximateAnswer, AqpSession, Attempt, ErrorSpec, OfflineTechnique,
@@ -47,9 +45,8 @@ fn report_row(
     truth: &ApproximateAnswer,
     run: impl FnOnce() -> Result<Attempt, String>,
 ) {
-    let t0 = Instant::now();
-    let outcome = run();
-    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (outcome, us) = aqp_obs::timing::time_us(run);
+    let ms = us / 1e3;
     match outcome {
         Ok(Attempt::Answered(ans)) => {
             let (err, missing) = error_vs(&ans, truth);
@@ -231,4 +228,9 @@ fn main() {
          its a-posteriori interval closes. One front door, three different winners: no\n\
          silver bullet."
     );
+
+    // Every routed query above ticked the session's decline/winner
+    // counters; dump the registry so the run's telemetry is inspectable.
+    println!("\n--- session telemetry (Prometheus exposition) ---");
+    print!("{}", aqp_obs::metrics::global().to_prometheus_text());
 }

@@ -17,18 +17,12 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 /// Times a closure over `reps` repetitions, returning the output of the
 /// last run and the *median* wall time — robust to one-off scheduling
-/// noise in experiment binaries.
-pub fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+/// noise in experiment binaries. Thin wrapper over
+/// [`aqp_obs::timing::median_duration`], the one shared implementation of
+/// the run-N-take-the-median idiom.
+pub fn timed_median<T>(reps: usize, f: impl FnMut() -> T) -> (T, Duration) {
     assert!(reps > 0, "need at least one repetition");
-    let mut durations = Vec::with_capacity(reps);
-    let mut out = None;
-    for _ in 0..reps {
-        let start = Instant::now();
-        out = Some(f());
-        durations.push(start.elapsed());
-    }
-    durations.sort();
-    (out.expect("reps > 0"), durations[durations.len() / 2])
+    aqp_obs::timing::median_duration(reps, f)
 }
 
 /// Geometric mean of positive values (the speedup aggregate the AQP

@@ -1,6 +1,8 @@
 //! Approximate answers: per-group estimates with intervals, plus an
 //! execution report stating how the answer was produced and what it cost.
 
+use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 use aqp_stats::{ConfidenceInterval, Estimate};
@@ -55,13 +57,34 @@ pub enum CandidateOutcome {
     NotReached,
 }
 
-/// One candidate the router considered, with its fate.
+impl CandidateOutcome {
+    /// Human-readable fate, e.g. `ineligible (no synopsis for `t`)`.
+    pub fn describe(&self) -> String {
+        match self {
+            CandidateOutcome::Chosen => "chosen".to_string(),
+            CandidateOutcome::Ineligible(r) => format!("ineligible ({r})"),
+            CandidateOutcome::DeclinedAtRuntime(r) => format!("declined ({r})"),
+            CandidateOutcome::NotReached => "not reached".to_string(),
+        }
+    }
+}
+
+/// One candidate the router considered, with its fate and wall-clock
+/// attribution: what its a-priori probe cost, and — when it was eligible
+/// and attempted — what the attempt cost, whether it answered or declined
+/// at runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateDecision {
     /// The technique family.
     pub kind: TechniqueKind,
     /// What happened to it.
     pub outcome: CandidateOutcome,
+    /// Wall clock of the eligibility probe ([`Duration::ZERO`] when the
+    /// probe was skipped).
+    pub probe_wall: Duration,
+    /// Wall clock of the runtime attempt ([`Duration::ZERO`] when the
+    /// candidate was never attempted).
+    pub attempt_wall: Duration,
 }
 
 /// A full account of one routing pass: every candidate considered in
@@ -89,22 +112,14 @@ impl RoutingDecision {
     pub fn summary(&self) -> String {
         self.candidates
             .iter()
-            .map(|c| {
-                let fate = match &c.outcome {
-                    CandidateOutcome::Chosen => "chosen".to_string(),
-                    CandidateOutcome::Ineligible(r) => format!("ineligible ({r})"),
-                    CandidateOutcome::DeclinedAtRuntime(r) => format!("declined ({r})"),
-                    CandidateOutcome::NotReached => "not reached".to_string(),
-                };
-                format!("{}: {}", c.kind, fate)
-            })
+            .map(|c| format!("{}: {}", c.kind, c.outcome.describe()))
             .collect::<Vec<_>>()
             .join("; ")
     }
 }
 
 /// Cost accounting for one answer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExecutionReport {
     /// How the answer was produced.
     pub path: ExecutionPath,
@@ -123,6 +138,22 @@ pub struct ExecutionReport {
     /// through [`crate::session::AqpSession`]; `None` when a technique
     /// was called directly.
     pub routing: Option<RoutingDecision>,
+    /// The query's span tree, attached by [`crate::session::AqpSession`]
+    /// when tracing is enabled (`aqp_obs::set_enabled(true)`); `None`
+    /// otherwise. Excluded from equality: two answers produced the same
+    /// way are equal even though their wall-clock traces differ.
+    pub trace: Option<Arc<aqp_obs::SpanNode>>,
+}
+
+impl PartialEq for ExecutionReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+            && self.population_rows == other.population_rows
+            && self.rows_touched == other.rows_touched
+            && self.rows_scanned == other.rows_scanned
+            && self.wall == other.wall
+            && self.routing == other.routing
+    }
 }
 
 impl ExecutionReport {
@@ -134,6 +165,74 @@ impl ExecutionReport {
         } else {
             self.rows_touched as f64 / self.population_rows as f64
         }
+    }
+
+    /// Renders an `EXPLAIN ANALYZE`-style account of the answer: the
+    /// header totals, the routing deliberation with per-candidate
+    /// probe/attempt wall clocks, and — when tracing was enabled — the
+    /// indented span tree (operators with rows, wall/self time, and
+    /// collapsed per-morsel counts; technique probes and attempts appear
+    /// as annotated siblings under the query root).
+    pub fn explain_analyze(&self) -> String {
+        let mut out = String::from("EXPLAIN ANALYZE\n");
+        let path = match &self.path {
+            ExecutionPath::Exact => "exact".to_string(),
+            ExecutionPath::OnlineBlockSample {
+                pilot_rate,
+                final_rate,
+            } => format!("online-block-sample(pilot={pilot_rate:.3}, final={final_rate:.3})"),
+            ExecutionPath::OfflineSynopsis { kind } => format!("offline-synopsis({kind})"),
+            ExecutionPath::OlaProgressive { fraction } => {
+                format!("ola-progressive(fraction={fraction:.3})")
+            }
+            ExecutionPath::MiddlewareRewrite { rate } => {
+                format!("middleware-rewrite(rate={rate:.3})")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "path={path}  wall={}  rows_scanned={}/{} ({:.2}% touched)",
+            aqp_obs::fmt_ns(self.wall.as_nanos() as u64),
+            self.rows_scanned,
+            self.population_rows,
+            100.0 * self.touched_fraction(),
+        );
+        if let Some(routing) = &self.routing {
+            let _ = writeln!(out, "routing:");
+            for c in &routing.candidates {
+                let _ = write!(out, "  {:<20} {}", c.kind.to_string(), c.outcome.describe());
+                if c.probe_wall > Duration::ZERO {
+                    let _ = write!(
+                        out,
+                        "  probe={}",
+                        aqp_obs::fmt_ns(c.probe_wall.as_nanos() as u64)
+                    );
+                }
+                if c.attempt_wall > Duration::ZERO {
+                    let _ = write!(
+                        out,
+                        " attempt={}",
+                        aqp_obs::fmt_ns(c.attempt_wall.as_nanos() as u64)
+                    );
+                }
+                out.push('\n');
+            }
+        }
+        match &self.trace {
+            Some(root) => {
+                let _ = writeln!(out, "trace:");
+                for line in aqp_obs::render_tree(root).lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "trace: none (enable with aqp_obs::set_enabled(true) before answering)"
+                );
+            }
+        }
+        out
     }
 }
 
@@ -231,7 +330,15 @@ pub fn assemble_answer(
 mod tests {
     use super::*;
 
+    /// Scenario constants the fixture derives from: a two-phase online
+    /// sample touches `pilot + final` of the population, so the row
+    /// accounting follows from the rates instead of being hard-coded.
+    const POPULATION_ROWS: u64 = 1_000_000;
+    const PILOT_RATE: f64 = 0.01;
+    const FINAL_RATE: f64 = 0.05;
+
     fn answer() -> ApproximateAnswer {
+        let rows_touched = ((PILOT_RATE + FINAL_RATE) * POPULATION_ROWS as f64) as u64;
         let est = Estimate::new(100.0, 4.0, 1000);
         ApproximateAnswer {
             group_by: vec!["g".into()],
@@ -250,14 +357,15 @@ mod tests {
             ],
             report: ExecutionReport {
                 path: ExecutionPath::OnlineBlockSample {
-                    pilot_rate: 0.01,
-                    final_rate: 0.05,
+                    pilot_rate: PILOT_RATE,
+                    final_rate: FINAL_RATE,
                 },
-                population_rows: 1_000_000,
-                rows_touched: 60_000,
-                rows_scanned: 60_000,
+                population_rows: POPULATION_ROWS,
+                rows_touched,
+                rows_scanned: rows_touched,
                 wall: Duration::from_millis(12),
                 routing: None,
+                trace: None,
             },
         }
     }
@@ -272,7 +380,7 @@ mod tests {
     #[test]
     fn touched_fraction() {
         let a = answer();
-        assert!((a.report.touched_fraction() - 0.06).abs() < 1e-12);
+        assert!((a.report.touched_fraction() - (PILOT_RATE + FINAL_RATE)).abs() < 1e-12);
     }
 
     #[test]
@@ -306,6 +414,7 @@ mod tests {
                 rows_scanned: 10,
                 wall: Duration::ZERO,
                 routing: None,
+                trace: None,
             },
         };
         assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
@@ -321,6 +430,7 @@ mod tests {
             rows_scanned: 100,
             wall: Duration::ZERO,
             routing: None,
+            trace: None,
         };
         let a = assemble_answer(
             vec!["g".into()],
@@ -348,14 +458,20 @@ mod tests {
                     outcome: CandidateOutcome::Ineligible(DeclineReason::NoSynopsis {
                         table: "t".into(),
                     }),
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
                 },
                 CandidateDecision {
                     kind: TechniqueKind::OnlineSampling,
                     outcome: CandidateOutcome::Chosen,
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
                 },
                 CandidateDecision {
                     kind: TechniqueKind::Exact,
                     outcome: CandidateOutcome::NotReached,
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
                 },
             ],
             winner: TechniqueKind::OnlineSampling,

@@ -58,6 +58,19 @@ pub struct QuantileSynopsis {
     pub built_on_rows: u64,
 }
 
+/// Records one offline build's cost: a span (when tracing) plus the
+/// always-on `aqp_synopsis_build_us` histogram — synopsis construction is
+/// the offline family's up-front investment, so its cost must be visible
+/// next to the query-time speedup it buys.
+fn record_build_cost(span: &mut aqp_obs::Span, target: String, start: Instant) {
+    if span.is_recording() {
+        span.set_detail(target);
+    }
+    aqp_obs::metrics::global()
+        .histogram("aqp_synopsis_build_us", aqp_obs::metrics::LATENCY_US_BOUNDS)
+        .observe(start.elapsed().as_secs_f64() * 1e6);
+}
+
 /// The offline synopsis store.
 pub struct OfflineStore {
     stratified: RwLock<HashMap<String, StratifiedSynopsis>>,
@@ -104,6 +117,8 @@ impl OfflineStore {
         budget: usize,
         seed: u64,
     ) -> Result<(), AqpError> {
+        let mut span = aqp_obs::span("synopsis:build-stratified");
+        let build_start = Instant::now();
         let t = catalog.get(table)?;
         let sample = stratified_sample_with_threads(
             &t,
@@ -112,6 +127,10 @@ impl OfflineStore {
             seed,
             self.threads,
         )?;
+        if span.is_recording() {
+            span.set_rows(sample.num_rows() as u64);
+        }
+        record_build_cost(&mut span, format!("{table}.{column}"), build_start);
         self.stratified.write().insert(
             table.to_string(),
             StratifiedSynopsis {
@@ -131,8 +150,13 @@ impl OfflineStore {
         column: &str,
         precision: u8,
     ) -> Result<(), AqpError> {
+        let mut span = aqp_obs::span("synopsis:build-distinct");
+        let build_start = Instant::now();
         let t = catalog.get(table)?;
         let idx = t.schema().index_of(column)?;
+        if span.is_recording() {
+            span.set_rows(t.row_count() as u64);
+        }
         // One morsel per block; HLL merge (register-wise max) is exact, so
         // the merged sketch equals the serial single-pass build.
         let blocks: Vec<std::sync::Arc<aqp_storage::Block>> = t
@@ -153,6 +177,7 @@ impl OfflineStore {
         for part in &partials {
             hll.merge(part);
         }
+        record_build_cost(&mut span, format!("{table}.{column}"), build_start);
         self.distinct.write().insert(
             (table.to_string(), column.to_string()),
             DistinctSynopsis {
@@ -171,8 +196,13 @@ impl OfflineStore {
         column: &str,
         eps: f64,
     ) -> Result<(), AqpError> {
+        let mut span = aqp_obs::span("synopsis:build-quantiles");
+        let build_start = Instant::now();
         let t = catalog.get(table)?;
         let idx = t.schema().index_of(column)?;
+        if span.is_recording() {
+            span.set_rows(t.row_count() as u64);
+        }
         let mut gk = GkQuantiles::new(eps);
         for (_, block) in t.iter_blocks() {
             let col = block.column(idx);
@@ -182,6 +212,7 @@ impl OfflineStore {
                 }
             }
         }
+        record_build_cost(&mut span, format!("{table}.{column}"), build_start);
         self.quantiles.write().insert(
             (table.to_string(), column.to_string()),
             QuantileSynopsis {
@@ -235,6 +266,7 @@ impl OfflineStore {
         spec: &ErrorSpec,
     ) -> Result<ApproximateAnswer, AqpError> {
         let start = Instant::now();
+        let mut obs_span = aqp_obs::span("offline:answer");
         if !query.joins.is_empty() {
             return Err(AqpError::Unsupported {
                 detail: "offline synopsis cannot serve join queries".to_string(),
@@ -350,6 +382,10 @@ impl OfflineStore {
         }
 
         let rows_scanned = sample.num_rows() as u64;
+        if obs_span.is_recording() {
+            obs_span.set_rows(rows_scanned);
+        }
+        obs_span.finish();
         Ok(assemble_answer(
             query.group_by.iter().map(|(_, n)| n.clone()).collect(),
             query.aggregates.iter().map(|a| a.alias.clone()).collect(),
@@ -364,6 +400,7 @@ impl OfflineStore {
                 rows_scanned,
                 wall: start.elapsed(),
                 routing: None,
+                trace: None,
             },
         ))
     }

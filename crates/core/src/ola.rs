@@ -249,6 +249,15 @@ impl Technique for OlaTechnique<'_> {
         let population_rows = fact.row_count() as u64;
         let mut ola =
             OnlineAggregator::new(Arc::clone(&fact), column, query.predicate.clone(), seed)?;
+        // The per-update CI trajectory is the progressive family's defining
+        // observable: each block processed should shrink the live interval.
+        let mut obs_span = aqp_obs::span("ola:progress");
+        let ci_hist = obs_span.is_recording().then(|| {
+            aqp_obs::metrics::global().histogram(
+                "aqp_ola_ci_rel_half_width",
+                aqp_obs::metrics::REL_ERROR_BOUNDS,
+            )
+        });
         let estimate = loop {
             let stepped = ola.step()?;
             if ola.blocks_processed() >= 2 {
@@ -256,7 +265,13 @@ impl Technique for OlaTechnique<'_> {
                     LinearAgg::Avg => ola.estimate_avg(),
                     _ => ola.estimate_sum(),
                 };
-                if e.ci(spec.confidence).relative_half_width() <= spec.relative_error {
+                let rel = e.ci(spec.confidence).relative_half_width();
+                if let Some(h) = &ci_hist {
+                    if rel.is_finite() {
+                        h.observe(rel);
+                    }
+                }
+                if rel <= spec.relative_error {
                     break e;
                 }
             }
@@ -268,6 +283,11 @@ impl Technique for OlaTechnique<'_> {
             }
         };
         let rows_scanned = ola.rows_seen();
+        if obs_span.is_recording() {
+            obs_span.set_rows(rows_scanned);
+            obs_span.set_detail(format!("fraction={:.3}", ola.fraction_processed()));
+        }
+        obs_span.finish();
         Ok(Attempt::Answered(assemble_answer(
             vec![],
             vec![agg.alias.clone()],
@@ -282,6 +302,7 @@ impl Technique for OlaTechnique<'_> {
                 rows_scanned,
                 wall: start.elapsed(),
                 routing: None,
+                trace: None,
             },
         )))
     }

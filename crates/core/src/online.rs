@@ -392,9 +392,19 @@ impl<'a> OnlineAqp<'a> {
             pilot_rate = pilot_rate.max(coverage.min(self.config.max_final_rate));
         }
         let pilot_rate = pilot_rate.min(0.5);
+        let mut pilot_span = aqp_obs::span("online:pilot");
+        let pilot_t0 = Instant::now();
         let pilot = bernoulli_blocks(&fact, pilot_rate, seed);
         let pilot_rows = pilot.num_rows() as u64;
         let (pilot_groups, pilot_blocks) = accumulate(&evaluator, &pilot, self.config.threads)?;
+        if pilot_span.is_recording() {
+            pilot_span.set_rows(pilot_rows);
+            pilot_span.set_detail(format!("rate={pilot_rate:.4}"));
+            aqp_obs::metrics::global()
+                .histogram("aqp_online_pilot_us", aqp_obs::metrics::LATENCY_US_BOUNDS)
+                .observe(pilot_t0.elapsed().as_secs_f64() * 1e6);
+        }
+        pilot_span.finish();
         if pilot_groups.is_empty() || pilot_blocks < 2 {
             // Nothing matched in the pilot: no basis for planning.
             return Ok(Attempt::Declined {
@@ -404,6 +414,7 @@ impl<'a> OnlineAqp<'a> {
         }
 
         // ---- Planning ----
+        let mut plan_span = aqp_obs::span("online:plan");
         let num_estimates = pilot_groups.len() * query.aggregates.len();
         let per_agg_spec = spec.split_across(num_estimates.max(1));
         let z = per_agg_spec.z();
@@ -435,8 +446,13 @@ impl<'a> OnlineAqp<'a> {
         }
         // Floor the final rate so spread stays estimable (≥ ~20 blocks).
         let q_final = q_final.max(20.0 / big_m as f64).min(1.0);
+        if plan_span.is_recording() {
+            plan_span.set_detail(format!("final_rate={q_final:.4}"));
+        }
+        plan_span.finish();
 
         // ---- Final phase ----
+        let mut final_span = aqp_obs::span("online:final");
         let final_sample = bernoulli_blocks(
             &fact,
             q_final,
@@ -445,6 +461,10 @@ impl<'a> OnlineAqp<'a> {
         let final_rows = final_sample.num_rows() as u64;
         let (final_groups, final_blocks) =
             accumulate(&evaluator, &final_sample, self.config.threads)?;
+        if final_span.is_recording() {
+            final_span.set_rows(final_rows);
+        }
+        final_span.finish();
         let ci_conf = spec
             .split_across((final_groups.len() * query.aggregates.len()).max(1))
             .confidence;
@@ -477,6 +497,7 @@ impl<'a> OnlineAqp<'a> {
                 rows_scanned,
                 wall: start.elapsed(),
                 routing: None,
+                trace: None,
             },
         )))
     }

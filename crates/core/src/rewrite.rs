@@ -187,7 +187,13 @@ impl Technique for RewriteTechnique<'_> {
         let start = Instant::now();
         let fact = self.catalog.get(&query.fact_table)?;
         let population_rows = fact.row_count() as u64;
+        let mut sample_span = aqp_obs::span("rewrite:sample");
         let sample = bernoulli_blocks(&fact, self.rate, seed);
+        if sample_span.is_recording() {
+            sample_span.set_rows(sample.num_rows() as u64);
+            sample_span.set_detail(format!("rate={:.3}", self.rate));
+        }
+        sample_span.finish();
         let dim_rows: u64 = query
             .joins
             .iter()
@@ -199,7 +205,12 @@ impl Technique for RewriteTechnique<'_> {
             })
             .sum();
         let rows_scanned = sample.num_rows() as u64 + dim_rows;
+        let mut exec_span = aqp_obs::span("rewrite:exec");
         let result = execute_rewritten(self.catalog, query, &sample, true)?;
+        if exec_span.is_recording() {
+            exec_span.set_rows(result.num_rows() as u64);
+        }
+        exec_span.finish();
         let key_len = query.group_by.len();
         let num_aggs = query.aggregates.len();
         let mut min_support = u64::MAX;
@@ -236,6 +247,7 @@ impl Technique for RewriteTechnique<'_> {
                 rows_scanned,
                 wall: start.elapsed(),
                 routing: None,
+                trace: None,
             },
         )))
     }

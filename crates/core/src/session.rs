@@ -27,6 +27,9 @@
 //! deliberation is recorded in the answer's
 //! [`RoutingDecision`](crate::answer::RoutingDecision).
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use aqp_engine::LogicalPlan;
 use aqp_storage::Catalog;
 
@@ -39,6 +42,75 @@ use crate::online::{OnlineAqp, OnlineConfig};
 use crate::rewrite::RewriteTechnique;
 use crate::spec::ErrorSpec;
 use crate::technique::{exact_answer, Attempt, DeclineReason, Technique, TechniqueKind};
+
+/// Static span name for a candidate's eligibility probe (span names are
+/// `&'static str` by design — no per-query allocation on the trace path).
+fn probe_span_name(kind: TechniqueKind) -> &'static str {
+    match kind {
+        TechniqueKind::OfflineSynopsis => "probe:offline-synopsis",
+        TechniqueKind::OnlineSampling => "probe:online-sampling",
+        TechniqueKind::OnlineAggregation => "probe:online-aggregation",
+        TechniqueKind::MiddlewareRewrite => "probe:rewrite-middleware",
+        TechniqueKind::Exact => "probe:exact",
+    }
+}
+
+/// Static span name for a candidate's runtime attempt.
+fn attempt_span_name(kind: TechniqueKind) -> &'static str {
+    match kind {
+        TechniqueKind::OfflineSynopsis => "attempt:offline-synopsis",
+        TechniqueKind::OnlineSampling => "attempt:online-sampling",
+        TechniqueKind::OnlineAggregation => "attempt:online-aggregation",
+        TechniqueKind::MiddlewareRewrite => "attempt:rewrite-middleware",
+        TechniqueKind::Exact => "attempt:exact",
+    }
+}
+
+/// Counts a completed routing pass into the global registry: one
+/// `aqp_decline_total{reason=...}` tick per candidate that declined
+/// (a-priori or at runtime; [`DeclineReason::tag`] keeps cardinality
+/// bounded) and one `aqp_routed_total{winner=...}` tick for the family
+/// that answered. Always on — sharded counters cost nanoseconds next to a
+/// routed query.
+fn count_decision(decision: &RoutingDecision) {
+    let m = aqp_obs::metrics::global();
+    for c in &decision.candidates {
+        match &c.outcome {
+            CandidateOutcome::Ineligible(r) | CandidateOutcome::DeclinedAtRuntime(r) => {
+                m.counter_labeled("aqp_decline_total", "reason", r.tag())
+                    .inc(1);
+            }
+            CandidateOutcome::Chosen | CandidateOutcome::NotReached => {}
+        }
+    }
+    m.counter_labeled("aqp_routed_total", "winner", decision.winner.name())
+        .inc(1);
+}
+
+/// Closes the query root span, stamps the routed wall, and — when tracing
+/// is enabled — drains this query's records into a tree attached to the
+/// report. Ordering matters: the root must close *before* the wall is
+/// measured so the `query` span's duration never exceeds `report.wall`,
+/// and trace assembly happens after, so collection cost is not billed to
+/// the query.
+fn attach_trace(
+    report: &mut crate::answer::ExecutionReport,
+    root: aqp_obs::Span,
+    wall_start: Instant,
+) {
+    let recording = root.is_recording();
+    let trace = root.ctx().trace;
+    root.finish();
+    report.wall = wall_start.elapsed();
+    if !recording {
+        return;
+    }
+    let roots = aqp_obs::build_tree(aqp_obs::drain_trace(trace));
+    report.trace = roots
+        .into_iter()
+        .find(|n| n.record.name == "query")
+        .map(Arc::new);
+}
 
 /// Tuning knobs for the routing policy.
 #[derive(Debug, Clone, Copy)]
@@ -136,7 +208,10 @@ impl<'a> AqpSession<'a> {
         let mut candidates = Vec::new();
         let mut winner: Option<TechniqueKind> = None;
         for t in self.techniques() {
-            let outcome = match t.eligibility(&query, spec) {
+            let probe_start = Instant::now();
+            let verdict = t.eligibility(&query, spec);
+            let probe_wall = probe_start.elapsed();
+            let outcome = match verdict {
                 crate::technique::Eligibility::Eligible => {
                     if winner.is_none() {
                         winner = Some(t.kind());
@@ -150,6 +225,8 @@ impl<'a> AqpSession<'a> {
             candidates.push(CandidateDecision {
                 kind: t.kind(),
                 outcome,
+                probe_wall,
+                attempt_wall: Duration::ZERO,
             });
         }
         candidates.push(CandidateDecision {
@@ -159,6 +236,8 @@ impl<'a> AqpSession<'a> {
             } else {
                 CandidateOutcome::NotReached
             },
+            probe_wall: Duration::ZERO,
+            attempt_wall: Duration::ZERO,
         });
         RoutingDecision {
             candidates,
@@ -176,11 +255,15 @@ impl<'a> AqpSession<'a> {
             .map(|t| CandidateDecision {
                 kind: t.kind(),
                 outcome: CandidateOutcome::Ineligible(reason.clone()),
+                probe_wall: Duration::ZERO,
+                attempt_wall: Duration::ZERO,
             })
             .collect();
         candidates.push(CandidateDecision {
             kind: TechniqueKind::Exact,
             outcome: CandidateOutcome::Chosen,
+            probe_wall: Duration::ZERO,
+            attempt_wall: Duration::ZERO,
         });
         RoutingDecision {
             candidates,
@@ -198,9 +281,18 @@ impl<'a> AqpSession<'a> {
         spec: &ErrorSpec,
         seed: u64,
     ) -> Result<ApproximateAnswer, AqpError> {
+        // The report's wall is the *routed* wall — probes, failed attempts,
+        // and the winner — mirroring how declined rows are charged to the
+        // final answer. The root span starts a fresh trace; every probe,
+        // attempt, and engine operator below nests under it.
+        let wall_start = Instant::now();
+        let root = aqp_obs::root_span("query");
         let Some(query) = AggQuery::from_plan(plan) else {
+            let decision = self.unsupported_shape_decision();
+            count_decision(&decision);
             let mut ans = exact_answer(self.catalog, plan, None)?;
-            ans.report.routing = Some(self.unsupported_shape_decision());
+            ans.report.routing = Some(decision);
+            attach_trace(&mut ans.report, root, wall_start);
             return Ok(ans);
         };
         let techniques = self.techniques();
@@ -211,6 +303,7 @@ impl<'a> AqpSession<'a> {
             if answered.is_some() {
                 // Already won — record the remaining candidates' a-priori
                 // verdicts so the decision names everyone considered.
+                let probe_start = Instant::now();
                 let outcome = match t.eligibility(&query, spec) {
                     crate::technique::Eligibility::Eligible => CandidateOutcome::NotReached,
                     crate::technique::Eligibility::Ineligible(r) => CandidateOutcome::Ineligible(r),
@@ -218,35 +311,68 @@ impl<'a> AqpSession<'a> {
                 candidates.push(CandidateDecision {
                     kind: t.kind(),
                     outcome,
+                    probe_wall: probe_start.elapsed(),
+                    attempt_wall: Duration::ZERO,
                 });
                 continue;
             }
-            match t.eligibility(&query, spec) {
+            let mut probe_span = aqp_obs::span(probe_span_name(t.kind()));
+            let probe_start = Instant::now();
+            let verdict = t.eligibility(&query, spec);
+            let probe_wall = probe_start.elapsed();
+            if probe_span.is_recording() {
+                if let crate::technique::Eligibility::Ineligible(r) = &verdict {
+                    probe_span.set_detail(format!("ineligible: {r}"));
+                }
+            }
+            probe_span.finish();
+            match verdict {
                 crate::technique::Eligibility::Ineligible(r) => {
                     candidates.push(CandidateDecision {
                         kind: t.kind(),
                         outcome: CandidateOutcome::Ineligible(r),
+                        probe_wall,
+                        attempt_wall: Duration::ZERO,
                     });
                 }
-                crate::technique::Eligibility::Eligible => match t.answer(&query, spec, seed)? {
-                    Attempt::Answered(ans) => {
-                        candidates.push(CandidateDecision {
-                            kind: t.kind(),
-                            outcome: CandidateOutcome::Chosen,
-                        });
-                        answered = Some(ans);
+                crate::technique::Eligibility::Eligible => {
+                    let mut attempt_span = aqp_obs::span(attempt_span_name(t.kind()));
+                    let attempt_start = Instant::now();
+                    let attempt = t.answer(&query, spec, seed)?;
+                    let attempt_wall = attempt_start.elapsed();
+                    match attempt {
+                        Attempt::Answered(ans) => {
+                            if attempt_span.is_recording() {
+                                attempt_span.set_detail("answered");
+                                attempt_span.set_rows(ans.report.rows_scanned);
+                            }
+                            candidates.push(CandidateDecision {
+                                kind: t.kind(),
+                                outcome: CandidateOutcome::Chosen,
+                                probe_wall,
+                                attempt_wall,
+                            });
+                            answered = Some(ans);
+                        }
+                        Attempt::Declined {
+                            reason,
+                            rows_scanned,
+                        } => {
+                            if attempt_span.is_recording() {
+                                attempt_span.set_detail(format!("declined: {reason}"));
+                                attempt_span.set_rows(rows_scanned);
+                            }
+                            declined_rows += rows_scanned;
+                            candidates.push(CandidateDecision {
+                                kind: t.kind(),
+                                outcome: CandidateOutcome::DeclinedAtRuntime(reason),
+                                probe_wall,
+                                attempt_wall,
+                            });
+                        }
                     }
-                    Attempt::Declined {
-                        reason,
-                        rows_scanned,
-                    } => {
-                        declined_rows += rows_scanned;
-                        candidates.push(CandidateDecision {
-                            kind: t.kind(),
-                            outcome: CandidateOutcome::DeclinedAtRuntime(reason),
-                        });
-                    }
-                },
+                    attempt_span.finish();
+                }
             }
         }
         let winner = match &answered {
@@ -257,30 +383,45 @@ impl<'a> AqpSession<'a> {
                 .expect("answered implies a chosen candidate"),
             None => TechniqueKind::Exact,
         };
-        candidates.push(CandidateDecision {
-            kind: TechniqueKind::Exact,
-            outcome: if answered.is_some() {
-                CandidateOutcome::NotReached
-            } else {
-                CandidateOutcome::Chosen
-            },
-        });
-        let decision = RoutingDecision { candidates, winner };
+        let won = answered.is_some();
+        let mut exact_attempt_wall = Duration::ZERO;
         let mut ans = match answered {
             Some(ans) => ans,
             None => {
                 // Every family passed: run exactly, with the fact-table
                 // population so speedup ratios compare like-for-like.
+                let mut span = aqp_obs::span(attempt_span_name(TechniqueKind::Exact));
+                let attempt_start = Instant::now();
                 let population = self
                     .catalog
                     .get(&query.fact_table)
                     .map(|t| t.row_count() as u64)
                     .ok();
-                exact_answer(self.catalog, &query.to_plan(), population)?
+                let ans = exact_answer(self.catalog, &query.to_plan(), population)?;
+                exact_attempt_wall = attempt_start.elapsed();
+                if span.is_recording() {
+                    span.set_detail("answered");
+                    span.set_rows(ans.report.rows_scanned);
+                }
+                span.finish();
+                ans
             }
         };
+        candidates.push(CandidateDecision {
+            kind: TechniqueKind::Exact,
+            outcome: if won {
+                CandidateOutcome::NotReached
+            } else {
+                CandidateOutcome::Chosen
+            },
+            probe_wall: Duration::ZERO,
+            attempt_wall: exact_attempt_wall,
+        });
+        let decision = RoutingDecision { candidates, winner };
+        count_decision(&decision);
         ans.report.rows_scanned += declined_rows;
         ans.report.routing = Some(decision);
+        attach_trace(&mut ans.report, root, wall_start);
         Ok(ans)
     }
 }

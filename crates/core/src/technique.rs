@@ -141,6 +141,28 @@ pub enum DeclineReason {
     },
 }
 
+impl DeclineReason {
+    /// Stable kebab-case tag naming the variant (no payload) — the label
+    /// value for the `aqp_decline_total` metric series, so cardinality
+    /// stays bounded no matter what tables or rates the payloads carry.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::UnsupportedShape { .. } => "unsupported-shape",
+            Self::UnsupportedAggregate { .. } => "unsupported-aggregate",
+            Self::JoinsUnsupported => "joins-unsupported",
+            Self::GroupByUnsupported => "group-by-unsupported",
+            Self::NoSynopsis { .. } => "no-synopsis",
+            Self::SynopsisMismatch { .. } => "synopsis-mismatch",
+            Self::StaleSynopsis { .. } => "stale-synopsis",
+            Self::TableTooSmall { .. } => "table-too-small",
+            Self::EmptyPilot => "empty-pilot",
+            Self::RateAboveCap { .. } => "rate-above-cap",
+            Self::InsufficientSupport { .. } => "insufficient-support",
+            Self::MissingTable { .. } => "missing-table",
+        }
+    }
+}
+
 impl fmt::Display for DeclineReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -275,7 +297,12 @@ pub fn exact_answer(
     population_rows: Option<u64>,
 ) -> Result<ApproximateAnswer, AqpError> {
     let start = Instant::now();
+    let mut span = aqp_obs::span("exact:execute");
     let result = execute(plan, catalog)?;
+    if span.is_recording() {
+        span.set_rows(result.stats().rows_scanned);
+    }
+    span.finish();
     let (group_names, agg_names, key_len) = match plan {
         LogicalPlan::Aggregate {
             group_by,
@@ -325,6 +352,7 @@ pub fn exact_answer(
             rows_scanned,
             wall: start.elapsed(),
             routing: None,
+            trace: None,
         },
     ))
 }

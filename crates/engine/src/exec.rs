@@ -74,7 +74,55 @@ pub fn execute_with(
     Ok(ResultSet::new(schema, batches, stats))
 }
 
+/// Static span name for an operator node (fused chains report as one
+/// `op:fused-scan` span, matching how they execute).
+fn node_span_name(plan: &LogicalPlan) -> &'static str {
+    if fuse(plan).is_some() {
+        return "op:fused-scan";
+    }
+    match plan {
+        LogicalPlan::Scan { .. } => "op:scan",
+        LogicalPlan::Filter { .. } => "op:filter",
+        LogicalPlan::Project { .. } => "op:project",
+        LogicalPlan::Join { .. } => "op:join",
+        LogicalPlan::Aggregate { .. } => "op:aggregate",
+        LogicalPlan::Sort { .. } => "op:sort",
+        LogicalPlan::Limit { .. } => "op:limit",
+        LogicalPlan::UnionAll { .. } => "op:union-all",
+    }
+}
+
+fn node_table(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { table } => Some(table),
+        _ => fuse(plan).map(|f| f.table),
+    }
+}
+
+/// Span-wrapping shell around [`exec_node_inner`]: every operator node
+/// gets an `op:*` span carrying its output row count (and source table
+/// for scans), nested under the caller's span via the tracer's
+/// thread-local parenting. Inert — one atomic load — when tracing is off.
 fn exec_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> Result<Vec<Arc<Block>>, EngineError> {
+    let mut span = aqp_obs::span(node_span_name(plan));
+    if span.is_recording() {
+        if let Some(table) = node_table(plan) {
+            span.set_detail(table.to_string());
+        }
+    }
+    let out = exec_node_inner(plan, catalog, stats, opts)?;
+    if span.is_recording() {
+        span.set_rows(out.iter().map(|b| b.len() as u64).sum());
+    }
+    Ok(out)
+}
+
+fn exec_node_inner(
     plan: &LogicalPlan,
     catalog: &Catalog,
     stats: &mut ExecStats,
@@ -241,10 +289,15 @@ fn exec_fused(
     let rows: u64 = blocks.iter().map(|b| b.len() as u64).sum();
     let threads = morsel_threads(opts, blocks.len(), rows);
     let project_schema = fused.project.map(|_| Arc::clone(out_schema));
+    // Morsel spans run on pool worker threads, so they parent under the
+    // operator span through an explicit context rather than the worker's
+    // (empty) thread-local current span.
+    let op_ctx = aqp_obs::current_ctx();
     let (results, scan_stats) = pool::parallel_map_with_stats(
         blocks,
         threads,
         |_, block, s| -> Result<Option<Arc<Block>>, EngineError> {
+            let mut morsel = aqp_obs::child_span("morsel:scan", op_ctx);
             s.blocks_scanned += 1;
             s.rows_scanned += block.len() as u64;
             let mut cur = block;
@@ -266,6 +319,7 @@ fn exec_fused(
                     .collect::<Result<_, _>>()?;
                 cur = Arc::new(Block::from_columns(Arc::clone(schema), columns));
             }
+            morsel.set_rows(cur.len() as u64);
             Ok(Some(cur))
         },
     );
@@ -286,18 +340,22 @@ fn filter_batches(
     predicate: &Expr,
     threads: usize,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
+    let op_ctx = aqp_obs::current_ctx();
     let results = pool::parallel_map(
         batches,
         threads,
         |_, block| -> Result<Option<Arc<Block>>, EngineError> {
+            let mut morsel = aqp_obs::child_span("morsel:filter", op_ctx);
             let mask = eval_predicate_mask(predicate, &block)?;
-            Ok(if mask.iter().all(|&b| b) {
+            let kept = if mask.iter().all(|&b| b) {
                 Some(block)
             } else if mask.iter().any(|&b| b) {
                 Some(Arc::new(block.filter(&mask)))
             } else {
                 None
-            })
+            };
+            morsel.set_rows(kept.as_ref().map_or(0, |b| b.len() as u64));
+            Ok(kept)
         },
     );
     let mut out = Vec::new();
@@ -316,10 +374,13 @@ fn project_batches(
     schema: &Arc<Schema>,
     threads: usize,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
+    let op_ctx = aqp_obs::current_ctx();
     let results = pool::parallel_map(
         batches,
         threads,
         |_, block| -> Result<Arc<Block>, EngineError> {
+            let mut morsel = aqp_obs::child_span("morsel:project", op_ctx);
+            morsel.set_rows(block.len() as u64);
             let columns: Vec<Column> = exprs
                 .iter()
                 .map(|(e, _)| eval(e, &block))
@@ -349,10 +410,13 @@ fn hash_join(
     // each key's match list carries (bi, ri) in ascending order — the same
     // order the serial build produces.
     type Matches = HashMap<KeyAtom, Vec<(usize, usize)>>;
+    let op_ctx = aqp_obs::current_ctx();
     let build_parts = pool::parallel_map(
         right_batches.to_vec(),
         threads,
         |bi, block| -> Result<Matches, EngineError> {
+            let mut morsel = aqp_obs::child_span("join:build", op_ctx);
+            morsel.set_rows(block.len() as u64);
             let keys = eval(right_key, &block)?;
             let mut part: Matches = HashMap::new();
             for ri in 0..block.len() {
@@ -379,6 +443,7 @@ fn hash_join(
         left_batches.to_vec(),
         threads,
         |_, block| -> Result<Vec<(usize, usize, usize)>, EngineError> {
+            let mut morsel = aqp_obs::child_span("join:probe", op_ctx);
             let keys = eval(left_key, &block)?;
             let mut out = Vec::new();
             for li in 0..block.len() {
@@ -392,6 +457,7 @@ fn hash_join(
                     }
                 }
             }
+            morsel.set_rows(out.len() as u64);
             Ok(out)
         },
     );
@@ -409,6 +475,8 @@ fn hash_join(
         chunks,
         threads,
         |_, chunk| -> Result<Arc<Block>, EngineError> {
+            let mut morsel = aqp_obs::child_span("join:materialize", op_ctx);
+            morsel.set_rows(chunk.len() as u64);
             let mut block = Block::with_capacity(Arc::clone(schema), chunk.len());
             let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
             for &(lbi, li, bi, ri) in chunk {
@@ -432,6 +500,7 @@ fn hash_join_serial(
     schema: &Arc<Schema>,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
     // Build phase: key → (batch, row) list.
+    let mut build_span = aqp_obs::span("join:build");
     let mut table: HashMap<KeyAtom, Vec<(usize, usize)>> = HashMap::new();
     for (bi, block) in right_batches.iter().enumerate() {
         let keys = eval(right_key, block)?;
@@ -446,7 +515,12 @@ fn hash_join_serial(
                 .push((bi, ri));
         }
     }
+    if build_span.is_recording() {
+        build_span.set_rows(right_batches.iter().map(|b| b.len() as u64).sum());
+    }
+    build_span.finish();
     // Probe phase.
+    let _probe_span = aqp_obs::span("join:probe");
     let mut out = Vec::new();
     let mut current = Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS);
     let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
@@ -491,9 +565,13 @@ fn hash_aggregate(
     threads: usize,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
     let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = if threads <= 1 {
+        let mut build_span = aqp_obs::span("agg:partial");
         let mut groups = HashMap::new();
         for block in batches {
             accumulate_block(block, group_by, aggregates, &mut groups)?;
+        }
+        if build_span.is_recording() {
+            build_span.set_rows(batches.iter().map(|b| b.len() as u64).sum());
         }
         groups
     } else {
@@ -508,10 +586,15 @@ fn hash_aggregate(
             .chunks(AGG_MORSEL_BLOCKS)
             .map(|c| c.to_vec())
             .collect();
+        let op_ctx = aqp_obs::current_ctx();
         let partials = pool::parallel_map(
             morsels,
             threads,
             |_, span| -> Result<HashMap<Vec<KeyAtom>, Vec<AggState>>, EngineError> {
+                let mut morsel = aqp_obs::child_span("agg:partial", op_ctx);
+                if morsel.is_recording() {
+                    morsel.set_rows(span.iter().map(|b| b.len() as u64).sum());
+                }
                 let mut part = HashMap::new();
                 for block in &span {
                     accumulate_block(block, group_by, aggregates, &mut part)?;
@@ -519,6 +602,7 @@ fn hash_aggregate(
                 Ok(part)
             },
         );
+        let mut merge_span = aqp_obs::span("agg:merge");
         let mut groups: HashMap<Vec<KeyAtom>, Vec<AggState>> = HashMap::new();
         for part in partials {
             for (key, states) in part? {
@@ -534,6 +618,8 @@ fn hash_aggregate(
                 }
             }
         }
+        merge_span.set_rows(groups.len() as u64);
+        merge_span.finish();
         groups
     };
     // SQL: a global aggregate over zero rows still yields one row.

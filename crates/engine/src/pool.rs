@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -92,23 +93,56 @@ where
     let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     let total: Mutex<ExecStats> = Mutex::new(ExecStats::default());
+    // Pool telemetry is gated on the observability switch so the hot loop
+    // reads no clock and touches no metric when it is off (the default).
+    let obs_on = aqp_obs::is_enabled();
+    let queue_wait = obs_on.then(|| {
+        aqp_obs::metrics::global().histogram(
+            "engine_pool_queue_wait_us",
+            aqp_obs::metrics::LATENCY_US_BOUNDS,
+        )
+    });
+    let busy_total: Mutex<Duration> = Mutex::new(Duration::ZERO);
+    let scope_start = obs_on.then(Instant::now);
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local: Vec<(usize, T)> = Vec::new();
                 let mut stats = ExecStats::default();
+                let mut busy = Duration::ZERO;
                 loop {
+                    let wait_start = queue_wait.as_ref().map(|_| Instant::now());
                     let next = queue.lock().pop_front();
+                    if let (Some(h), Some(t0)) = (queue_wait.as_ref(), wait_start) {
+                        h.observe(t0.elapsed().as_secs_f64() * 1e6);
+                    }
                     let Some((i, item)) = next else { break };
+                    let work_start = obs_on.then(Instant::now);
                     local.push((i, f(i, item, &mut stats)));
+                    if let Some(t0) = work_start {
+                        busy += t0.elapsed();
+                    }
                 }
                 results.lock().extend(local);
                 let mut t = total.lock();
                 *t = t.merge(&stats);
+                if obs_on {
+                    *busy_total.lock() += busy;
+                }
             });
         }
     })
     .expect("morsel worker panicked");
+    if let Some(t0) = scope_start {
+        let wall = t0.elapsed().as_secs_f64();
+        let m = aqp_obs::metrics::global();
+        m.gauge("engine_pool_workers").set(workers as f64);
+        if wall > 0.0 {
+            let busy = busy_total.into_inner().as_secs_f64();
+            m.gauge("engine_pool_worker_utilization")
+                .set(busy / (workers as f64 * wall));
+        }
+    }
     let mut tagged = results.into_inner();
     tagged.sort_unstable_by_key(|(i, _)| *i);
     let out = tagged.into_iter().map(|(_, v)| v).collect();

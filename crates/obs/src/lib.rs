@@ -1,0 +1,38 @@
+//! # aqp-obs — query-lifecycle observability substrate
+//!
+//! Zero-dependency (shim-style, like the other vendored crates)
+//! observability layer for the AQP stack, providing:
+//!
+//! - a **span tracer** ([`trace`]): RAII spans with parent/child links
+//!   cheap enough to wrap every morsel, operator, eligibility probe,
+//!   technique attempt, and synopsis build — a single relaxed atomic
+//!   load when no collector is enabled (the default), so benches run
+//!   unperturbed;
+//! - a **metrics registry** ([`metrics`]): counters, gauges, and
+//!   fixed-bucket histograms with lock-free per-worker shards merged on
+//!   read, exported as Prometheus text or JSON;
+//! - **timing helpers** ([`timing`]): the shared median-of-N wall-clock
+//!   idiom used by the `exp_*` binaries and benches.
+//!
+//! ```
+//! let ((), spans) = aqp_obs::capture(|| {
+//!     let mut op = aqp_obs::span("op:scan");
+//!     op.set_rows(1024);
+//! });
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].rows, 1024);
+//! aqp_obs::metrics::global().counter("queries_total").inc(1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod timing;
+pub mod trace;
+
+pub use trace::{
+    build_tree, capture, child_span, current_ctx, drain, drain_trace, fmt_ns, is_enabled,
+    open_span_count, render_tree, root_span, set_enabled, span, Span, SpanCtx, SpanNode,
+    SpanRecord,
+};

@@ -1,0 +1,77 @@
+//! Shared wall-clock timing helpers, so experiment binaries and benches
+//! stop hand-rolling the run-N-times-take-the-median idiom.
+
+use std::time::{Duration, Instant};
+
+/// Times one call of `f`, returning its output and the elapsed wall
+/// clock in microseconds.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Median of a sample set (sorts in place; `NaN` for an empty slice).
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timing samples"));
+    samples[samples.len() / 2]
+}
+
+/// Runs `f` `reps` times (at least once) and returns the last output
+/// together with the median wall clock in microseconds.
+pub fn median_us<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    let (mut out, us) = time_us(&mut f);
+    samples.push(us);
+    for _ in 1..reps {
+        let (o, us) = time_us(&mut f);
+        out = o;
+        samples.push(us);
+    }
+    (out, median(&mut samples))
+}
+
+/// [`median_us`] with the median converted to a [`Duration`].
+pub fn median_duration<T>(reps: usize, f: impl FnMut() -> T) -> (T, Duration) {
+    let (out, us) = median_us(reps, f);
+    (out, Duration::from_secs_f64(us / 1e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut a = [3.0, 1.0, 2.0];
+        assert_eq!(median(&mut a), 2.0);
+        let mut b = [4.0, 1.0, 3.0, 2.0];
+        // Even length: upper-median, matching the old ad-hoc benches.
+        assert_eq!(median(&mut b), 3.0);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn median_us_runs_reps_and_returns_last_output() {
+        let mut calls = 0;
+        let (out, us) = median_us(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(out, 5);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn zero_reps_still_runs_once() {
+        let mut calls = 0;
+        let ((), d) = median_duration(0, || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(d >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,125 @@
+//! Observability tour: run one query through each AQP family via the
+//! routing session with the tracer on, print `EXPLAIN ANALYZE` for every
+//! answer, and finish with the session's metrics in Prometheus exposition
+//! format.
+//!
+//! ```sh
+//! cargo run --release -p aqp-bench --example observability
+//! ```
+
+use aqp_core::{AqpSession, ErrorSpec, OnlineConfig, SessionConfig};
+use aqp_engine::{AggExpr, LogicalPlan, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::Catalog;
+use aqp_workload::{skewed_table, uniform_table};
+
+fn explain(title: &str, session: &AqpSession, plan: &LogicalPlan, spec: &ErrorSpec) {
+    let ans = session.answer(plan, spec, 7).unwrap();
+    let routing = ans.report.routing.as_ref().unwrap();
+    println!("== {title} ==");
+    println!("   winner: {}\n", routing.winner);
+    // Indent the explain block under the headline.
+    for line in ans.report.explain_analyze().lines() {
+        println!("   {line}");
+    }
+    println!();
+}
+
+fn main() {
+    // Spans and the trace tree are recorded only while the tracer is on;
+    // the default is off and costs nothing.
+    aqp_obs::set_enabled(true);
+
+    // --- 1. Offline synopsis: a fresh stratified sample matching the
+    //        query's GROUP BY — answered without touching base data.
+    let c = Catalog::new();
+    c.register(skewed_table("sales", 400_000, 40, 1.1, 1024, 11))
+        .unwrap();
+    let session = AqpSession::new(&c);
+    session
+        .offline()
+        .build_stratified(&c, "sales", "g", 20_000, 1)
+        .unwrap();
+    let grouped_sum = Query::scan("sales")
+        .aggregate(
+            vec![(col("g"), "g".to_string())],
+            vec![AggExpr::sum(col("v"), "s")],
+        )
+        .build();
+    explain(
+        "offline synopsis (fresh stratified sample)",
+        &session,
+        &grouped_sum,
+        &ErrorSpec::new(0.05, 0.95),
+    );
+
+    // --- 2. Online sampling: an ad-hoc predicate no synopsis anticipated;
+    //        the pilot plans a final block rate that honors the contract.
+    let c2 = Catalog::new();
+    c2.register(uniform_table("readings", 1_000_000, 1024, 42))
+        .unwrap();
+    let session2 = AqpSession::new(&c2);
+    let adhoc = Query::scan("readings")
+        .filter(col("sel").lt(lit(0.5)))
+        .aggregate(
+            vec![(col("id").modulo(lit(8i64)), "g".to_string())],
+            vec![AggExpr::avg(col("v"), "a")],
+        )
+        .build();
+    explain(
+        "online sampling (pilot-planned two-phase)",
+        &session2,
+        &adhoc,
+        &ErrorSpec::new(0.05, 0.95),
+    );
+
+    // --- 3. Progressive aggregation: the fact table is too small for the
+    //        two-phase planner's spread estimation, so online sampling
+    //        declines and the progressive family takes the ungrouped SUM.
+    let c3 = Catalog::new();
+    c3.register(uniform_table("tiny", 2_000, 1024, 5)).unwrap();
+    let session3 = AqpSession::new(&c3);
+    let ungrouped = Query::scan("tiny")
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    explain(
+        "online aggregation (progressive, a-posteriori stop)",
+        &session3,
+        &ungrouped,
+        &ErrorSpec::new(0.1, 0.9),
+    );
+
+    // --- 4. Middleware rewrite: a pay-off cap so tight that the planned
+    //        final rate exceeds it — online sampling declines at runtime
+    //        and the grouped shape keeps progressive aggregation out, so
+    //        the point-estimate middleware answers.
+    let c4 = Catalog::new();
+    c4.register(skewed_table("events", 300_000, 8, 0.5, 1024, 23))
+        .unwrap();
+    let session4 = AqpSession::with_config(
+        &c4,
+        SessionConfig {
+            online: OnlineConfig {
+                max_final_rate: 0.001,
+                ..OnlineConfig::default()
+            },
+            rewrite_min_group_support: 10,
+            ..SessionConfig::default()
+        },
+    );
+    explain(
+        "middleware rewrite (runtime decline falls through)",
+        &session4,
+        &Query::scan("events")
+            .aggregate(
+                vec![(col("g"), "g".to_string())],
+                vec![AggExpr::sum(col("v"), "s")],
+            )
+            .build(),
+        &ErrorSpec::new(0.02, 0.99),
+    );
+
+    // --- 5. Everything the four sessions recorded, scrape-ready.
+    println!("== metrics (Prometheus exposition) ==\n");
+    print!("{}", aqp_obs::metrics::global().to_prometheus_text());
+}

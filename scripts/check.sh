@@ -6,4 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+# Observability crate first: its suite includes the guarded disabled-span
+# overhead smoke test, the cheapest signal when instrumentation regresses.
+cargo test -q -p aqp-obs
 cargo test -q

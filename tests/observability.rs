@@ -1,0 +1,256 @@
+//! Span-tree invariants for the query-lifecycle tracer, across serial and
+//! morsel-parallel execution, plus the session-level explain path.
+//!
+//! The invariants (checked property-style over random tables, block
+//! capacities, and thread counts):
+//!
+//! * every span that opens also closes — `open_span_count()` returns to
+//!   zero after each traced execution;
+//! * every child span nests strictly inside its parent's time window
+//!   (same process-wide monotonic epoch on every thread);
+//! * within any one thread, a parent's children run sequentially, so the
+//!   per-(parent, thread) sum of child durations never exceeds the
+//!   parent's duration (cross-thread sums legitimately can, under
+//!   parallelism — that is what worker utilization measures);
+//! * instrumentation never perturbs results: traced output equals
+//!   untraced output bit-for-bit.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use aqp_core::{AqpSession, ErrorSpec};
+use aqp_engine::{execute_with, AggExpr, ExecOptions, Query};
+use aqp_expr::{col, lit};
+use aqp_obs::SpanRecord;
+use aqp_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Fact table `fact(k, v)` mirroring the parallel_equivalence harness.
+fn catalog_from(xs: &[i64], block_cap: usize, keys: i64) -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]);
+    let mut fact = TableBuilder::with_block_capacity("fact", schema, block_cap);
+    for &x in xs {
+        fact.push_row(&[Value::Int64(x.rem_euclid(keys)), Value::Float64(x as f64)])
+            .unwrap();
+    }
+    let c = Catalog::new();
+    c.register(fact.finish()).unwrap();
+    c
+}
+
+/// Flattens an assembled span tree back into records — the session path
+/// drains its own trace into `report.trace`, so captured buffers come
+/// back empty and the tree is the record of truth.
+fn flatten(node: &aqp_obs::SpanNode, out: &mut Vec<SpanRecord>) {
+    out.push(node.record.clone());
+    for c in &node.children {
+        flatten(c, out);
+    }
+}
+
+/// Checks the structural invariants over one captured trace.
+fn check_span_invariants(records: &[SpanRecord]) -> Result<(), TestCaseError> {
+    prop_assert!(!records.is_empty(), "traced execution must emit spans");
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    // Child windows nest inside parent windows.
+    for r in records {
+        if r.parent == 0 {
+            continue;
+        }
+        let p = by_id
+            .get(&r.parent)
+            .unwrap_or_else(|| panic!("span {} has unclosed parent {}", r.id, r.parent));
+        prop_assert!(
+            r.start_ns >= p.start_ns && r.end_ns() <= p.end_ns(),
+            "child {} [{}, {}] escapes parent {} [{}, {}]",
+            r.name,
+            r.start_ns,
+            r.end_ns(),
+            p.name,
+            p.start_ns,
+            p.end_ns()
+        );
+    }
+    // Per-(parent, thread) child durations sum to at most the parent's.
+    let mut sums: HashMap<(u64, u64), u64> = HashMap::new();
+    for r in records {
+        if r.parent != 0 {
+            *sums.entry((r.parent, r.thread)).or_default() += r.duration_ns;
+        }
+    }
+    for ((parent, thread), child_total) in sums {
+        let p = by_id[&parent];
+        prop_assert!(
+            child_total <= p.duration_ns,
+            "children of {} on thread {thread} sum to {child_total}ns > parent {}ns",
+            p.name,
+            p.duration_ns
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine-level: a filter → group-by plan at thread counts 1/2/4.
+    /// Every span closes, children nest, per-thread child time fits in
+    /// the parent, and traced rows equal untraced rows.
+    #[test]
+    fn engine_spans_close_and_nest(
+        xs in prop::collection::vec(-100_000i64..100_000, 2100..3000),
+        cap in 16usize..96,
+    ) {
+        let c = catalog_from(&xs, cap, 13);
+        let plan = Query::scan("fact")
+            .filter(col("v").gt_eq(lit(-90_000.0)))
+            .aggregate(
+                vec![(col("k"), "k".to_string())],
+                vec![AggExpr::count_star("n"), AggExpr::sum(col("v"), "s")],
+            )
+            .build();
+        let untraced = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
+        for threads in THREADS {
+            let opts = ExecOptions::with_threads(threads);
+            // Global counters are read inside capture(), which holds the
+            // tracer's serialization lock — reading them outside races
+            // with other tests' captures.
+            let ((result, open_after), records) = aqp_obs::capture(|| {
+                let r = execute_with(&plan, &c, opts).unwrap();
+                (r, aqp_obs::open_span_count())
+            });
+            prop_assert_eq!(open_after, 0, "threads={}: spans left open", threads);
+            check_span_invariants(&records)?;
+            prop_assert_eq!(untraced.rows(), result.rows(), "threads={}", threads);
+            // The operator tree is present: an aggregate over a fused scan.
+            prop_assert!(records.iter().any(|r| r.name == "op:aggregate"));
+            prop_assert!(records.iter().any(|r| r.name == "op:fused-scan"));
+        }
+    }
+
+    /// Session-level: a routed grouped aggregate records probes and the
+    /// winning attempt under one `query` root, and the same invariants
+    /// hold for the full routing trace.
+    #[test]
+    fn session_trace_nests_probes_and_attempts(
+        xs in prop::collection::vec(-100_000i64..100_000, 2100..2600),
+        seed in any::<u64>(),
+    ) {
+        let c = catalog_from(&xs, 32, 7);
+        let session = AqpSession::new(&c);
+        let plan = Query::scan("fact")
+            .aggregate(
+                vec![(col("k"), "k".to_string())],
+                vec![AggExpr::sum(col("v"), "s")],
+            )
+            .build();
+        let spec = ErrorSpec::new(0.2, 0.9);
+        let ((ans, open_after), leftovers) = aqp_obs::capture(|| {
+            let a = session.answer(&plan, &spec, seed).unwrap();
+            (a, aqp_obs::open_span_count())
+        });
+        prop_assert_eq!(open_after, 0);
+        // The session drained its own trace into the report; nothing may
+        // be left behind in the collector buffers.
+        prop_assert!(leftovers.is_empty(), "off-trace spans: {:?}", leftovers);
+        let tree = ans.report.trace.as_ref().expect("trace attached");
+        prop_assert_eq!(tree.record.name, "query");
+        prop_assert_eq!(tree.record.parent, 0);
+        let mut records = Vec::new();
+        flatten(tree, &mut records);
+        check_span_invariants(&records)?;
+        // Every record belongs to the query's trace.
+        for r in &records {
+            prop_assert_eq!(r.trace, tree.record.trace, "span {} off-trace", r.name);
+        }
+        prop_assert!(records.iter().any(|r| r.name.starts_with("probe:")));
+        prop_assert!(records.iter().any(|r| r.name.starts_with("attempt:")));
+        let text = ans.report.explain_analyze();
+        prop_assert!(text.contains("EXPLAIN ANALYZE"));
+        prop_assert!(text.contains("routing:"));
+        prop_assert!(text.contains("query"));
+    }
+}
+
+/// The routed span tree accounts for the report's wall clock: the `query`
+/// root covers every probe/attempt below it, its duration never exceeds
+/// the routed wall, and the winning attempt (plus declined attempts and
+/// probes) is visible in the rendered explain output with its timing.
+#[test]
+fn explain_analyze_accounts_for_routed_wall() {
+    let xs: Vec<i64> = (0..30_000).map(|i| (i * 7919) % 5003 - 2500).collect();
+    let c = catalog_from(&xs, 64, 17);
+    let session = AqpSession::new(&c);
+    let plan = Query::scan("fact")
+        .aggregate(
+            vec![(col("k"), "k".to_string())],
+            vec![AggExpr::sum(col("v"), "s")],
+        )
+        .build();
+    let spec = ErrorSpec::new(0.1, 0.95);
+    let (ans, _) = aqp_obs::capture(|| session.answer(&plan, &spec, 42).unwrap());
+    let report = &ans.report;
+    let tree = report.trace.as_ref().expect("trace attached");
+    // The root's wall is bounded by the report's routed wall, and its
+    // direct children (probes + attempts) fit within it.
+    let root_ns = tree.record.duration_ns;
+    assert!(
+        root_ns <= report.wall.as_nanos() as u64,
+        "query span {root_ns}ns exceeds routed wall {}ns",
+        report.wall.as_nanos()
+    );
+    assert!(
+        tree.child_ns() <= root_ns,
+        "probe+attempt time {}ns exceeds query span {root_ns}ns",
+        tree.child_ns()
+    );
+    // Probe and attempt timing is attributed on the routing decision.
+    let routing = report.routing.as_ref().expect("routed");
+    let attempted: Vec<_> = routing
+        .candidates
+        .iter()
+        .filter(|c| c.attempt_wall > std::time::Duration::ZERO)
+        .collect();
+    assert!(!attempted.is_empty(), "someone must have attempted");
+    let rendered = report.explain_analyze();
+    assert!(
+        rendered.contains("probe="),
+        "probe timing missing:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("attempt="),
+        "attempt timing missing:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("trace:"),
+        "span tree missing:\n{rendered}"
+    );
+}
+
+/// Disabled-tracer executions leave no residue: no spans buffered, no
+/// open-span drift, identical results. Runs inside capture() purely for
+/// its serialization lock — the closure immediately switches the tracer
+/// off, so the captured record set must come back empty.
+#[test]
+fn disabled_tracing_is_inert_end_to_end() {
+    let xs: Vec<i64> = (0..5_000).map(|i| (i * 31) % 997).collect();
+    let c = catalog_from(&xs, 64, 11);
+    let plan = Query::scan("fact")
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build();
+    let ((r1, r2, before, after), records) = aqp_obs::capture(|| {
+        aqp_obs::set_enabled(false);
+        let before = aqp_obs::open_span_count();
+        let r1 = execute_with(&plan, &c, ExecOptions::with_threads(4)).unwrap();
+        let r2 = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
+        (r1, r2, before, aqp_obs::open_span_count())
+    });
+    assert_eq!(r1.rows(), r2.rows());
+    assert_eq!(before, after);
+    assert!(records.is_empty(), "disabled tracer recorded {records:?}");
+}
