@@ -6,7 +6,7 @@ use std::time::Instant;
 use aqp_obs::timing::median_us;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use aqp_core::{AqpSession, ErrorSpec};
+use aqp_core::{AqpSession, CandidateOutcome, ErrorSpec};
 use aqp_engine::{execute, execute_with, AggExpr, ExecOptions, LogicalPlan, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
@@ -278,6 +278,68 @@ fn write_router_report(catalog: &Catalog) {
     eprintln!("wrote {path}");
 }
 
+fn bench_lint(c: &mut Criterion) {
+    let catalog = router_catalog();
+    let session = AqpSession::new(&catalog);
+    session
+        .offline()
+        .build_stratified(&catalog, "r", "g", 10_000, 1)
+        .unwrap();
+    let mut g = c.benchmark_group("lint/analyze");
+    for (name, plan) in router_plans() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| session.lint_plan(plan))
+        });
+    }
+    g.finish();
+    write_lint_report(&catalog);
+}
+
+/// Emits `BENCH_lint.json` at the workspace root: the median cost of one
+/// full static analysis per router query shape, and the eligibility
+/// probes the router skips on the analyzer's verdicts. The acceptance
+/// criterion is analysis under 10 µs/plan — metadata-only by contract,
+/// and cheaper than the probe round it replaces.
+fn write_lint_report(catalog: &Catalog) {
+    const REPS: usize = 201;
+    let session = AqpSession::new(catalog);
+    session
+        .offline()
+        .build_stratified(catalog, "r", "g", 10_000, 1)
+        .unwrap();
+    let spec = ErrorSpec::new(0.05, 0.95);
+    let mut shapes = Vec::new();
+    let mut worst_us = 0.0f64;
+    for (name, plan) in router_plans() {
+        session.lint_plan(&plan); // warm-up
+        let (analysis, lint_us) = median_us(REPS, || session.lint_plan(&plan));
+        worst_us = worst_us.max(lint_us);
+        let decision = session.probe(&plan, &spec);
+        let skipped = decision
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.outcome, CandidateOutcome::StaticallyIneligible(_)))
+            .count();
+        shapes.push(format!(
+            "    {{\"shape\": \"{name}\", \"lint_median_us\": {lint_us:.2}, \
+             \"diagnostics\": {}, \"best_attainable\": \"{}\", \"probes_skipped\": {skipped}}}",
+            analysis.diagnostics.len(),
+            analysis.best_attainable()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"lint\",\n  \
+         \"acceptance\": \"full static analysis under 10 us/plan\",\n  \
+         \"worst_median_us\": {worst_us:.2},\n  \"within_budget\": {},\n  \
+         \"shapes\": [\n{}\n  ]\n}}\n",
+        worst_us < 10.0,
+        shapes.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(path, json).expect("write lint bench report");
+    eprintln!("wrote {path}");
+}
+
 fn bench_obs_overhead(c: &mut Criterion) {
     let catalog = catalog();
     let plan = sweep_plans().swap_remove(1).1; // group_by_1k
@@ -352,6 +414,7 @@ criterion_group!(
     bench_hash_join,
     bench_parallel_sweep,
     bench_router,
+    bench_lint,
     bench_obs_overhead
 );
 criterion_main!(benches);

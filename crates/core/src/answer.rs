@@ -49,6 +49,11 @@ pub enum CandidateOutcome {
     Chosen,
     /// The a-priori eligibility probe declined the query.
     Ineligible(DeclineReason),
+    /// The static analyzer predicted the probe's decline, so the router
+    /// skipped the probe entirely (`probe_wall` is zero). The reason is
+    /// identical to what the probe would have returned — the
+    /// analyzer/probe consistency contract `tests/lint.rs` pins.
+    StaticallyIneligible(DeclineReason),
     /// The candidate was eligible and attempted, but declined at runtime
     /// (e.g. the pilot-planned rate exceeded the cap).
     DeclinedAtRuntime(DeclineReason),
@@ -63,6 +68,9 @@ impl CandidateOutcome {
         match self {
             CandidateOutcome::Chosen => "chosen".to_string(),
             CandidateOutcome::Ineligible(r) => format!("ineligible ({r})"),
+            CandidateOutcome::StaticallyIneligible(r) => {
+                format!("statically ineligible ({r})")
+            }
             CandidateOutcome::DeclinedAtRuntime(r) => format!("declined ({r})"),
             CandidateOutcome::NotReached => "not reached".to_string(),
         }
@@ -143,6 +151,12 @@ pub struct ExecutionReport {
     /// otherwise. Excluded from equality: two answers produced the same
     /// way are equal even though their wall-clock traces differ.
     pub trace: Option<Arc<aqp_obs::SpanNode>>,
+    /// The static analysis the session ran before routing, when the answer
+    /// came through [`crate::session::AqpSession`]; `None` when a
+    /// technique was called directly. Excluded from equality (like
+    /// `trace`): the lint stream annotates how the answer was produced,
+    /// it is not part of the answer.
+    pub lints: Option<Arc<aqp_analyze::Analysis>>,
 }
 
 impl PartialEq for ExecutionReport {
@@ -216,6 +230,12 @@ impl ExecutionReport {
                     );
                 }
                 out.push('\n');
+            }
+        }
+        if let Some(lints) = &self.lints {
+            let _ = writeln!(out, "lints:");
+            for line in lints.render_table().lines() {
+                let _ = writeln!(out, "  {line}");
             }
         }
         match &self.trace {
@@ -366,6 +386,7 @@ mod tests {
                 wall: Duration::from_millis(12),
                 routing: None,
                 trace: None,
+                lints: None,
             },
         }
     }
@@ -415,6 +436,7 @@ mod tests {
                 wall: Duration::ZERO,
                 routing: None,
                 trace: None,
+                lints: None,
             },
         };
         assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
@@ -431,6 +453,7 @@ mod tests {
             wall: Duration::ZERO,
             routing: None,
             trace: None,
+            lints: None,
         };
         let a = assemble_answer(
             vec!["g".into()],

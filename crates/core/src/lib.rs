@@ -33,6 +33,12 @@
 //!   routable family rows are derived live from [`Technique::eligibility`]
 //!   probes, so the matrix cannot drift from the code.
 //!
+//! Static analysis (aqp-lint) lives one layer down in `aqp-analyze`: the
+//! session runs it once per query, skips eligibility probes for families
+//! it rules out, and attaches the [`Analysis`] (stable `A0xx` lint codes,
+//! guarantee verdicts, suggested rewrites) to the answer's report — see
+//! [`AqpSession::lint_plan`] and [`ExecutionReport::lints`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -92,3 +98,7 @@ pub use technique::{
     exact_answer, Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind,
     TechniqueProfile,
 };
+
+// The static analyzer's surface, re-exported so session users can consume
+// the `ExecutionReport::lints` field without naming a second crate.
+pub use aqp_analyze::{Analysis, Diagnostic, GuaranteeClass, LintCode, Severity, TechniqueVerdict};

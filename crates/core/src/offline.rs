@@ -401,6 +401,7 @@ impl OfflineStore {
                 wall: start.elapsed(),
                 routing: None,
                 trace: None,
+                lints: None,
             },
         ))
     }
@@ -413,6 +414,20 @@ impl OfflineStore {
             .read()
             .get(table)
             .map(|s| (s.column.clone(), s.sample.num_rows() as u64))
+    }
+
+    /// Every table with a stratified synopsis, with its stratification
+    /// column. Metadata-only — the session uses this to hand the static
+    /// analyzer its synopsis inventory.
+    pub fn stratified_tables(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .stratified
+            .read()
+            .iter()
+            .map(|(t, s)| (t.clone(), s.column.clone()))
+            .collect();
+        out.sort();
+        out
     }
 }
 

@@ -303,6 +303,7 @@ impl Technique for OlaTechnique<'_> {
                 wall: start.elapsed(),
                 routing: None,
                 trace: None,
+                lints: None,
             },
         )))
     }

@@ -43,8 +43,9 @@ use crate::technique::{
 };
 
 /// Minimum fact-table blocks the two-phase design needs for spread
-/// estimation.
-const MIN_BLOCKS: u64 = 4;
+/// estimation. Shared with the static analyzer (which must predict this
+/// probe's verdict) so the threshold cannot drift.
+const MIN_BLOCKS: u64 = aqp_analyze::MIN_SAMPLING_BLOCKS;
 
 /// Tuning knobs for the online planner.
 #[derive(Debug, Clone, Copy)]
@@ -498,6 +499,7 @@ impl<'a> OnlineAqp<'a> {
                 wall: start.elapsed(),
                 routing: None,
                 trace: None,
+                lints: None,
             },
         )))
     }

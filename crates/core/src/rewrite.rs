@@ -248,6 +248,7 @@ impl Technique for RewriteTechnique<'_> {
                 wall: start.elapsed(),
                 routing: None,
                 trace: None,
+                lints: None,
             },
         )))
     }

@@ -33,6 +33,8 @@ use std::time::{Duration, Instant};
 use aqp_engine::LogicalPlan;
 use aqp_storage::Catalog;
 
+use aqp_analyze::{Analysis, LintContext, LintPolicy, SynopsisMeta};
+
 use crate::aggquery::AggQuery;
 use crate::answer::{ApproximateAnswer, CandidateDecision, CandidateOutcome, RoutingDecision};
 use crate::error::AqpError;
@@ -41,7 +43,7 @@ use crate::ola::OlaTechnique;
 use crate::online::{OnlineAqp, OnlineConfig};
 use crate::rewrite::RewriteTechnique;
 use crate::spec::ErrorSpec;
-use crate::technique::{exact_answer, Attempt, DeclineReason, Technique, TechniqueKind};
+use crate::technique::{exact_answer, Attempt, Technique, TechniqueKind};
 
 /// Static span name for a candidate's eligibility probe (span names are
 /// `&'static str` by design — no per-query allocation on the trace path).
@@ -79,6 +81,13 @@ fn count_decision(decision: &RoutingDecision) {
             CandidateOutcome::Ineligible(r) | CandidateOutcome::DeclinedAtRuntime(r) => {
                 m.counter_labeled("aqp_decline_total", "reason", r.tag())
                     .inc(1);
+            }
+            CandidateOutcome::StaticallyIneligible(r) => {
+                // A skipped probe is still a decline for accounting, plus
+                // its own counter so the analyzer's savings are visible.
+                m.counter_labeled("aqp_decline_total", "reason", r.tag())
+                    .inc(1);
+                m.counter("aqp_probes_skipped_total").inc(1);
             }
             CandidateOutcome::Chosen | CandidateOutcome::NotReached => {}
         }
@@ -175,6 +184,35 @@ impl<'a> AqpSession<'a> {
         self.catalog
     }
 
+    /// The analyzer's view of this session: the catalog, the offline
+    /// store's synopsis inventory (metadata only), and the routing
+    /// policy's thresholds.
+    fn lint_context(&self) -> LintContext<'a> {
+        let mut ctx = LintContext::new(self.catalog).with_policy(LintPolicy {
+            max_staleness: self.config.max_staleness,
+            min_sampling_blocks: aqp_analyze::MIN_SAMPLING_BLOCKS,
+            rewrite_min_group_support: self.config.rewrite_min_group_support,
+            progressive: self.config.progressive,
+        });
+        for (table, column) in self.offline.stratified_tables() {
+            let staleness = self.offline.staleness(self.catalog, &table).ok();
+            ctx = ctx.with_synopsis(SynopsisMeta {
+                table,
+                stratified_on: column,
+                staleness,
+            });
+        }
+        ctx
+    }
+
+    /// Statically analyzes `plan` against this session's catalog, synopsis
+    /// inventory, and policy — the same [`Analysis`] that
+    /// [`AqpSession::answer`] runs before routing and attaches to the
+    /// report. Metadata-only; nothing is executed.
+    pub fn lint_plan(&self, plan: &LogicalPlan) -> Analysis {
+        aqp_analyze::lint_plan(plan, &self.lint_context())
+    }
+
     /// The candidate chain in policy order (exact is implicit, last).
     fn techniques(&self) -> Vec<Box<dyn Technique + '_>> {
         let mut chain: Vec<Box<dyn Technique + '_>> = vec![
@@ -196,18 +234,32 @@ impl<'a> AqpSession<'a> {
         chain
     }
 
-    /// The decision the router *would* make, from eligibility probes only
-    /// — no base data is touched and nothing is executed. Runtime declines
-    /// are invisible to a probe, so the probed winner is the first
-    /// *eligible* candidate, which the real [`AqpSession::answer`] may
-    /// still fall past.
+    /// The decision the router *would* make, without executing anything:
+    /// the static analyzer rules out what it can (those probes are
+    /// skipped, recorded as
+    /// [`CandidateOutcome::StaticallyIneligible`]), and eligibility probes
+    /// cover the rest. No base data is touched. Runtime declines are
+    /// invisible here, so the probed winner is the first *eligible*
+    /// candidate, which the real [`AqpSession::answer`] may still fall
+    /// past.
     pub fn probe(&self, plan: &LogicalPlan, spec: &ErrorSpec) -> RoutingDecision {
-        let Some(query) = AggQuery::from_plan(plan) else {
-            return self.unsupported_shape_decision();
+        let query = AggQuery::from_plan(plan);
+        let analysis = aqp_analyze::lint_with(plan, query.as_ref(), &self.lint_context());
+        let Some(query) = query else {
+            return self.shape_blocked_decision(&analysis);
         };
         let mut candidates = Vec::new();
         let mut winner: Option<TechniqueKind> = None;
         for t in self.techniques() {
+            if let Some(reason) = analysis.blocked_by(t.kind()) {
+                candidates.push(CandidateDecision {
+                    kind: t.kind(),
+                    outcome: CandidateOutcome::StaticallyIneligible(reason.clone()),
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
+                });
+                continue;
+            }
             let probe_start = Instant::now();
             let verdict = t.eligibility(&query, spec);
             let probe_wall = probe_start.elapsed();
@@ -245,18 +297,25 @@ impl<'a> AqpSession<'a> {
         }
     }
 
-    fn unsupported_shape_decision(&self) -> RoutingDecision {
-        let reason = DeclineReason::UnsupportedShape {
-            detail: "plan is not a normalized star linear-aggregate query".to_string(),
-        };
+    /// The routing decision for a plan the analyzer found out of shape:
+    /// every approximate family is statically ineligible with the
+    /// analyzer's verdict (always `UnsupportedShape` here) and exact wins.
+    fn shape_blocked_decision(&self, analysis: &Analysis) -> RoutingDecision {
         let mut candidates: Vec<CandidateDecision> = self
             .techniques()
             .iter()
-            .map(|t| CandidateDecision {
-                kind: t.kind(),
-                outcome: CandidateOutcome::Ineligible(reason.clone()),
-                probe_wall: Duration::ZERO,
-                attempt_wall: Duration::ZERO,
+            .map(|t| {
+                let reason = analysis.blocked_by(t.kind()).cloned().unwrap_or(
+                    aqp_analyze::DeclineReason::UnsupportedShape {
+                        detail: "plan is not a normalized star linear-aggregate query".to_string(),
+                    },
+                );
+                CandidateDecision {
+                    kind: t.kind(),
+                    outcome: CandidateOutcome::StaticallyIneligible(reason),
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
+                }
             })
             .collect();
         candidates.push(CandidateDecision {
@@ -271,47 +330,73 @@ impl<'a> AqpSession<'a> {
         }
     }
 
-    /// Routes and answers: normalizes the plan once, walks the candidate
-    /// chain (falling through on runtime declines), and returns the
-    /// winner's answer with the full [`RoutingDecision`] — and the cost of
-    /// any failed attempts — folded into its report.
+    /// Routes and answers: normalizes the plan once, runs the static
+    /// analyzer once (skipping eligibility probes for every family it
+    /// rules out), walks the remaining candidate chain (falling through on
+    /// runtime declines), and returns the winner's answer with the full
+    /// [`RoutingDecision`], the [`Analysis`], and the cost of any failed
+    /// attempts folded into its report.
     pub fn answer(
         &self,
         plan: &LogicalPlan,
         spec: &ErrorSpec,
         seed: u64,
     ) -> Result<ApproximateAnswer, AqpError> {
-        // The report's wall is the *routed* wall — probes, failed attempts,
-        // and the winner — mirroring how declined rows are charged to the
-        // final answer. The root span starts a fresh trace; every probe,
-        // attempt, and engine operator below nests under it.
+        // The report's wall is the *routed* wall — analysis, probes,
+        // failed attempts, and the winner — mirroring how declined rows
+        // are charged to the final answer. The root span starts a fresh
+        // trace; every probe, attempt, and engine operator below nests
+        // under it.
         let wall_start = Instant::now();
         let root = aqp_obs::root_span("query");
-        let Some(query) = AggQuery::from_plan(plan) else {
-            let decision = self.unsupported_shape_decision();
+        let query = AggQuery::from_plan(plan);
+        let mut lint_span = aqp_obs::span("lint:analyze");
+        let analysis = Arc::new(aqp_analyze::lint_with(
+            plan,
+            query.as_ref(),
+            &self.lint_context(),
+        ));
+        if lint_span.is_recording() {
+            lint_span.set_detail(format!(
+                "{} diagnostic(s), best {}",
+                analysis.diagnostics.len(),
+                analysis.best_attainable()
+            ));
+        }
+        lint_span.finish();
+        let Some(query) = query else {
+            let decision = self.shape_blocked_decision(&analysis);
             count_decision(&decision);
             let mut ans = exact_answer(self.catalog, plan, None)?;
             ans.report.routing = Some(decision);
+            ans.report.lints = Some(analysis);
             attach_trace(&mut ans.report, root, wall_start);
             return Ok(ans);
         };
         let techniques = self.techniques();
         let mut candidates: Vec<CandidateDecision> = Vec::with_capacity(techniques.len() + 1);
         let mut declined_rows: u64 = 0;
-        let mut answered: Option<ApproximateAnswer> = None;
+        let mut answered: Option<(TechniqueKind, ApproximateAnswer)> = None;
         for t in &techniques {
-            if answered.is_some() {
-                // Already won — record the remaining candidates' a-priori
-                // verdicts so the decision names everyone considered.
-                let probe_start = Instant::now();
-                let outcome = match t.eligibility(&query, spec) {
-                    crate::technique::Eligibility::Eligible => CandidateOutcome::NotReached,
-                    crate::technique::Eligibility::Ineligible(r) => CandidateOutcome::Ineligible(r),
-                };
+            // The analyzer already proved this family's probe would
+            // decline (with this exact reason) — skip the probe.
+            if let Some(reason) = analysis.blocked_by(t.kind()) {
                 candidates.push(CandidateDecision {
                     kind: t.kind(),
-                    outcome,
-                    probe_wall: probe_start.elapsed(),
+                    outcome: CandidateOutcome::StaticallyIneligible(reason.clone()),
+                    probe_wall: Duration::ZERO,
+                    attempt_wall: Duration::ZERO,
+                });
+                continue;
+            }
+            if answered.is_some() {
+                // Already won — the remaining candidates were statically
+                // eligible, so by the consistency contract their probes
+                // would pass; record them unprobed.
+                candidates.push(CandidateDecision {
+                    kind: t.kind(),
+                    outcome: CandidateOutcome::NotReached,
+                    probe_wall: Duration::ZERO,
                     attempt_wall: Duration::ZERO,
                 });
                 continue;
@@ -352,7 +437,7 @@ impl<'a> AqpSession<'a> {
                                 probe_wall,
                                 attempt_wall,
                             });
-                            answered = Some(ans);
+                            answered = Some((t.kind(), ans));
                         }
                         Attempt::Declined {
                             reason,
@@ -376,17 +461,13 @@ impl<'a> AqpSession<'a> {
             }
         }
         let winner = match &answered {
-            Some(_) => candidates
-                .iter()
-                .find(|c| c.outcome == CandidateOutcome::Chosen)
-                .map(|c| c.kind)
-                .expect("answered implies a chosen candidate"),
+            Some((kind, _)) => *kind,
             None => TechniqueKind::Exact,
         };
         let won = answered.is_some();
         let mut exact_attempt_wall = Duration::ZERO;
         let mut ans = match answered {
-            Some(ans) => ans,
+            Some((_, ans)) => ans,
             None => {
                 // Every family passed: run exactly, with the fact-table
                 // population so speedup ratios compare like-for-like.
@@ -421,6 +502,7 @@ impl<'a> AqpSession<'a> {
         count_decision(&decision);
         ans.report.rows_scanned += declined_rows;
         ans.report.routing = Some(decision);
+        ans.report.lints = Some(analysis);
         attach_trace(&mut ans.report, root, wall_start);
         Ok(ans)
     }

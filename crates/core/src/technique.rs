@@ -23,7 +23,6 @@
 //! * [`crate::rewrite::RewriteTechnique`] — VerdictDB-style middleware
 //!   rewriting over a weighted sample (point estimates, no intervals).
 
-use std::fmt;
 use std::time::Instant;
 
 use aqp_engine::{execute, LogicalPlan};
@@ -35,169 +34,7 @@ use crate::answer::{assemble_answer, ApproximateAnswer, ExecutionPath, Execution
 use crate::error::AqpError;
 use crate::spec::ErrorSpec;
 
-/// Identifies one routable AQP family (plus the exact terminal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TechniqueKind {
-    /// Pre-built offline synopsis ([`crate::offline::OfflineStore`]).
-    OfflineSynopsis,
-    /// Pilot-planned two-phase online sampling ([`crate::online::OnlineAqp`]).
-    OnlineSampling,
-    /// Progressive online aggregation ([`crate::ola::OnlineAggregator`]).
-    OnlineAggregation,
-    /// Middleware rewrite over a weighted sample ([`crate::rewrite`]).
-    MiddlewareRewrite,
-    /// Exact execution — the terminal every chain ends in.
-    Exact,
-}
-
-impl TechniqueKind {
-    /// Stable kebab-case name (used in reports, logs, and BENCH json).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Self::OfflineSynopsis => "offline-synopsis",
-            Self::OnlineSampling => "online-sampling",
-            Self::OnlineAggregation => "online-aggregation",
-            Self::MiddlewareRewrite => "rewrite-middleware",
-            Self::Exact => "exact",
-        }
-    }
-}
-
-impl fmt::Display for TechniqueKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Why a technique cannot (or would not) serve a query — machine-readable,
-/// so routing decisions and the capability matrix can be derived from it.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DeclineReason {
-    /// The plan is outside the normalized star linear-aggregate shape.
-    UnsupportedShape {
-        /// What about the shape is unsupported.
-        detail: String,
-    },
-    /// One of the query's aggregates is outside what the technique covers.
-    UnsupportedAggregate {
-        /// Alias of the offending aggregate.
-        alias: String,
-        /// What the technique would have needed.
-        detail: String,
-    },
-    /// The technique cannot serve queries with joins.
-    JoinsUnsupported,
-    /// The technique cannot serve grouped queries.
-    GroupByUnsupported,
-    /// No synopsis has been built for the fact table.
-    NoSynopsis {
-        /// The table lacking a synopsis.
-        table: String,
-    },
-    /// A synopsis exists but was stratified on a different column set than
-    /// the query groups by — per-group coverage would be silently lost
-    /// (the E8 group-drift failure mode).
-    SynopsisMismatch {
-        /// Column the synopsis is stratified on.
-        stratified_on: String,
-        /// Column(s) the query groups by.
-        requested: String,
-    },
-    /// The synopsis is too stale to trust (base data moved on).
-    StaleSynopsis {
-        /// Relative row-count divergence (see [`crate::offline::OfflineStore::staleness`]).
-        staleness: f64,
-        /// The routing policy's freshness threshold.
-        max_staleness: f64,
-    },
-    /// The table is too small for the design's spread estimation.
-    TableTooSmall {
-        /// Blocks in the fact table.
-        blocks: u64,
-        /// Minimum blocks the design needs.
-        min_blocks: u64,
-    },
-    /// The pilot sample matched nothing — no basis for planning.
-    EmptyPilot,
-    /// The planned sampling rate exceeds the pay-off cap; sampling would
-    /// not beat exact execution while honoring the contract.
-    RateAboveCap {
-        /// The rate the error spec would require.
-        required: f64,
-        /// The configured cap.
-        cap: f64,
-    },
-    /// Too few sample rows support the answer for it to be trustworthy.
-    InsufficientSupport {
-        /// Smallest per-group supporting row count observed.
-        rows: u64,
-        /// The configured minimum.
-        min_rows: u64,
-    },
-    /// The referenced table does not exist in the catalog.
-    MissingTable {
-        /// The missing table.
-        table: String,
-    },
-}
-
-impl DeclineReason {
-    /// Stable kebab-case tag naming the variant (no payload) — the label
-    /// value for the `aqp_decline_total` metric series, so cardinality
-    /// stays bounded no matter what tables or rates the payloads carry.
-    pub fn tag(&self) -> &'static str {
-        match self {
-            Self::UnsupportedShape { .. } => "unsupported-shape",
-            Self::UnsupportedAggregate { .. } => "unsupported-aggregate",
-            Self::JoinsUnsupported => "joins-unsupported",
-            Self::GroupByUnsupported => "group-by-unsupported",
-            Self::NoSynopsis { .. } => "no-synopsis",
-            Self::SynopsisMismatch { .. } => "synopsis-mismatch",
-            Self::StaleSynopsis { .. } => "stale-synopsis",
-            Self::TableTooSmall { .. } => "table-too-small",
-            Self::EmptyPilot => "empty-pilot",
-            Self::RateAboveCap { .. } => "rate-above-cap",
-            Self::InsufficientSupport { .. } => "insufficient-support",
-            Self::MissingTable { .. } => "missing-table",
-        }
-    }
-}
-
-impl fmt::Display for DeclineReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::UnsupportedShape { detail } => write!(f, "unsupported plan shape: {detail}"),
-            Self::UnsupportedAggregate { alias, detail } => {
-                write!(f, "aggregate `{alias}` unsupported: {detail}")
-            }
-            Self::JoinsUnsupported => write!(f, "joins unsupported"),
-            Self::GroupByUnsupported => write!(f, "GROUP BY unsupported"),
-            Self::NoSynopsis { table } => write!(f, "no synopsis for `{table}`"),
-            Self::SynopsisMismatch {
-                stratified_on,
-                requested,
-            } => write!(
-                f,
-                "synopsis stratified on `{stratified_on}`, query groups by `{requested}`"
-            ),
-            Self::StaleSynopsis {
-                staleness,
-                max_staleness,
-            } => write!(f, "synopsis stale ({staleness:.2} > {max_staleness:.2})"),
-            Self::TableTooSmall { blocks, min_blocks } => {
-                write!(f, "table too small ({blocks} blocks < {min_blocks})")
-            }
-            Self::EmptyPilot => write!(f, "pilot sample matched nothing"),
-            Self::RateAboveCap { required, cap } => {
-                write!(f, "required rate {required:.3} exceeds cap {cap:.3}")
-            }
-            Self::InsufficientSupport { rows, min_rows } => {
-                write!(f, "sample support {rows} rows < minimum {min_rows}")
-            }
-            Self::MissingTable { table } => write!(f, "table `{table}` not found"),
-        }
-    }
-}
+pub use aqp_analyze::{DeclineReason, Guarantee, TechniqueKind};
 
 /// A technique's a-priori verdict on whether it can serve a query under a
 /// spec. Cheap by contract: eligibility probes must not touch base data
@@ -216,20 +53,6 @@ impl Eligibility {
     pub fn is_eligible(&self) -> bool {
         matches!(self, Self::Eligible)
     }
-}
-
-/// The error-guarantee class a technique offers — one of NSB's three axes,
-/// carried on the trait so the capability matrix derives from code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Guarantee {
-    /// Error contract honored *before* execution (pilot-planned rates,
-    /// design-based synopsis estimators).
-    APriori,
-    /// Error known only *after* (or during) execution — progressive
-    /// intervals with the peeking caveat.
-    APosteriori,
-    /// Point estimates only; no interval is carried.
-    PointEstimate,
 }
 
 /// Static self-description of a technique, for the derived taxonomy.
@@ -353,6 +176,7 @@ pub fn exact_answer(
             wall: start.elapsed(),
             routing: None,
             trace: None,
+            lints: None,
         },
     ))
 }
@@ -360,37 +184,6 @@ pub fn exact_answer(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn kind_names_are_stable() {
-        assert_eq!(TechniqueKind::OfflineSynopsis.name(), "offline-synopsis");
-        assert_eq!(TechniqueKind::OnlineSampling.name(), "online-sampling");
-        assert_eq!(
-            TechniqueKind::OnlineAggregation.name(),
-            "online-aggregation"
-        );
-        assert_eq!(
-            TechniqueKind::MiddlewareRewrite.name(),
-            "rewrite-middleware"
-        );
-        assert_eq!(TechniqueKind::Exact.name(), "exact");
-    }
-
-    #[test]
-    fn decline_reasons_render() {
-        let r = DeclineReason::RateAboveCap {
-            required: 0.45,
-            cap: 0.2,
-        };
-        assert!(r.to_string().contains("0.450"));
-        assert!(DeclineReason::EmptyPilot.to_string().contains("pilot"));
-        assert!(DeclineReason::StaleSynopsis {
-            staleness: 0.3,
-            max_staleness: 0.1
-        }
-        .to_string()
-        .contains("stale"));
-    }
 
     #[test]
     fn eligibility_predicate() {

@@ -288,7 +288,9 @@ fn exec_fused(
     let blocks: Vec<Arc<Block>> = t.iter_blocks().map(|(_, b)| Arc::clone(b)).collect();
     let rows: u64 = blocks.iter().map(|b| b.len() as u64).sum();
     let threads = morsel_threads(opts, blocks.len(), rows);
-    let project_schema = fused.project.map(|_| Arc::clone(out_schema));
+    // Pair the projection exprs with the output schema up front so the
+    // morsel closure never has to re-derive that they exist together.
+    let projection = fused.project.map(|exprs| (exprs, Arc::clone(out_schema)));
     // Morsel spans run on pool worker threads, so they parent under the
     // operator span through an explicit context rather than the worker's
     // (empty) thread-local current span.
@@ -311,8 +313,7 @@ fn exec_fused(
                     return Ok(None);
                 }
             }
-            if let Some(exprs) = fused.project {
-                let schema = project_schema.as_ref().expect("schema set when projecting");
+            if let Some((exprs, schema)) = &projection {
                 let columns: Vec<Column> = exprs
                     .iter()
                     .map(|(e, _)| eval(e, &cur))

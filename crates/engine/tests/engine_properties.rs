@@ -119,7 +119,7 @@ proptest! {
         let vs = sorted.column_f64("v").unwrap();
         prop_assert!(vs.windows(2).all(|w| w[0] <= w[1]));
         let mut original: Vec<f64> = rows.iter().map(|r| r.1).collect();
-        let mut got = vs.clone();
+        let mut got = vs;
         original.sort_by(|a, b| a.partial_cmp(b).unwrap());
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         prop_assert_eq!(original, got);

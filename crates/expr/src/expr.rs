@@ -218,6 +218,21 @@ impl Expr {
             Expr::Not(e) | Expr::IsNull(e) | Expr::Hash64(e) => e.collect_columns(out),
         }
     }
+
+    /// Pre-order visit of every node in the tree (self included). The
+    /// static analyzer uses this to detect sub-expressions by shape, e.g.
+    /// a `hash64(key)` universe-sampling predicate.
+    pub fn walk(&self, visit: &mut impl FnMut(&Expr)) {
+        visit(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk(visit);
+                right.walk(visit);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::Hash64(e) => e.walk(visit),
+        }
+    }
 }
 
 impl std::fmt::Display for Expr {

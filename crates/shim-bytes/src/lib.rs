@@ -4,6 +4,8 @@
 //! `get_*`/`put_*` cursor reads over `&[u8]`, an append-only `BytesMut`
 //! builder, and a cheaply cloneable frozen `Bytes` buffer.
 
+#![deny(unsafe_code)]
+
 use std::ops::Deref;
 use std::sync::Arc;
 

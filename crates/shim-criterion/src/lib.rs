@@ -7,6 +7,8 @@
 //! `cargo test` (no `--bench` flag) each bench body runs once as a smoke
 //! test; under `cargo bench` it measures and prints one line per bench.
 
+#![deny(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};

@@ -5,6 +5,8 @@
 //! `std::thread::scope` (stable since Rust 1.63). Worker panics are
 //! reported through the returned `Result`, as in crossbeam.
 
+#![deny(unsafe_code)]
+
 /// Scoped threads.
 pub mod thread {
     use std::any::Any;

@@ -5,6 +5,8 @@
 //! poisoned std lock is recovered rather than propagated, matching
 //! `parking_lot`'s behavior of not poisoning at all.
 
+#![deny(unsafe_code)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };

@@ -7,6 +7,8 @@
 //! deterministic per-test seed; there is no shrinking (failures are
 //! already reproducible because generation is seeded by test name).
 
+#![deny(unsafe_code)]
+
 use std::ops::Range;
 
 use rand::rngs::SmallRng;

@@ -7,6 +7,8 @@
 //! consumer in this workspace treats seeds as opaque reproducibility
 //! handles, never as cross-library fixtures.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of random 64-bit words.

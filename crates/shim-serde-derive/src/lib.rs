@@ -7,6 +7,8 @@
 //! compiling without the real proc-macro stack (syn/quote) the offline
 //! build environment cannot fetch.
 
+#![deny(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.

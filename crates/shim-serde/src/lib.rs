@@ -6,4 +6,6 @@
 //! this workspace performs generic serde serialization — the sketches ship
 //! over their own binary codec (`aqp-sketch::codec`).
 
+#![deny(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};

@@ -162,9 +162,8 @@ mod tests {
 
     #[test]
     fn merge_estimates_union() {
-        let a = filled(0..60_000, 1024);
         let b = filled(40_000..100_000, 1024);
-        let mut u = a.clone();
+        let mut u = filled(0..60_000, 1024);
         u.merge(&b);
         let est = u.estimate();
         assert!((est - 100_000.0).abs() / 100_000.0 < 0.15, "est {est}");

@@ -1,11 +1,59 @@
 #!/usr/bin/env bash
-# Full local gate: format, lints, and the whole test suite.
-# Run from anywhere; operates on the workspace root.
+# Full local gate: format, lints, static-analysis hygiene, and the whole
+# test suite. Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+
+# Clippy tier: warnings are denied wholesale, plus a curated set the
+# default `warn` level leaves off — the suspicious group and the
+# leftover-debris lints, and a small pedantic subset that catches real
+# bugs (lossless casts and redundant clones) without fighting idiom.
+cargo clippy --workspace --all-targets -- \
+  -D warnings \
+  -D clippy::suspicious \
+  -D clippy::dbg_macro \
+  -D clippy::todo \
+  -D clippy::unimplemented \
+  -D clippy::unnecessary_cast \
+  -D clippy::redundant_clone
+
+# Unsafe audit: every crate must carry `#![deny(unsafe_code)]`, and any
+# future `#[allow]`-ed unsafe block must carry a `// SAFETY:` comment on
+# the preceding line.
+for lib in crates/*/src/lib.rs; do
+  if ! grep -q '#!\[deny(unsafe_code)\]' "$lib"; then
+    echo "check.sh: $lib is missing #![deny(unsafe_code)]" >&2
+    exit 1
+  fi
+done
+unsound=$(grep -rn --include='*.rs' 'unsafe \(fn\|impl\|{\)' crates/*/src \
+  | grep -v '^\s*//' \
+  | while IFS=: read -r file line _; do
+      prev=$(sed -n "$((line - 1))p" "$file")
+      case "$prev" in
+        *"// SAFETY:"*) ;;
+        *) echo "$file:$line" ;;
+      esac
+    done) || true
+if [ -n "$unsound" ]; then
+  echo "check.sh: unsafe without a '// SAFETY:' comment on the line above:" >&2
+  echo "$unsound" >&2
+  exit 1
+fi
+
+# Unwrap budget: the router and executor hot paths were un-unwrapped;
+# bare `.unwrap()`/`.expect(` must not creep back into their non-test
+# code (the count is the lines above `#[cfg(test)]`).
+for hot in crates/core/src/session.rs crates/engine/src/exec.rs; do
+  count=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{n++} END{print n+0}' "$hot")
+  if [ "$count" -gt 0 ]; then
+    echo "check.sh: $hot has $count .unwrap()/.expect( in non-test code (budget: 0)" >&2
+    exit 1
+  fi
+done
+
 # Observability crate first: its suite includes the guarded disabled-span
 # overhead smoke test, the cheapest signal when instrumentation regresses.
 cargo test -q -p aqp-obs

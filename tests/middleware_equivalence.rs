@@ -179,7 +179,7 @@ fn rebase_tables_redirects_plan_to_sample() {
     let catalog = Catalog::new();
     catalog.register(t).unwrap();
     let sample_name = s.table.name().to_string();
-    catalog.register(s.table.clone()).unwrap();
+    catalog.register(s.table).unwrap();
     let plan = Query::scan("t")
         .filter(col("sel").lt(lit(0.5)))
         .aggregate(vec![], vec![AggExpr::count_star("n")])

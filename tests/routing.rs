@@ -89,7 +89,7 @@ fn stale_synopsis_falls_to_online_sampling() {
     assert_eq!(routing.winner, TechniqueKind::OnlineSampling);
     assert!(matches!(
         routing.outcome(TechniqueKind::OfflineSynopsis),
-        Some(CandidateOutcome::Ineligible(
+        Some(CandidateOutcome::StaticallyIneligible(
             DeclineReason::StaleSynopsis { .. }
         ))
     ));
@@ -124,7 +124,7 @@ fn small_group_query_falls_through_to_exact() {
     assert_eq!(ans.report.path, ExecutionPath::Exact);
     assert!(matches!(
         routing.outcome(TechniqueKind::OfflineSynopsis),
-        Some(CandidateOutcome::Ineligible(
+        Some(CandidateOutcome::StaticallyIneligible(
             DeclineReason::NoSynopsis { .. }
         ))
     ));
@@ -134,7 +134,7 @@ fn small_group_query_falls_through_to_exact() {
     ));
     assert!(matches!(
         routing.outcome(TechniqueKind::OnlineAggregation),
-        Some(CandidateOutcome::Ineligible(
+        Some(CandidateOutcome::StaticallyIneligible(
             DeclineReason::GroupByUnsupported
         ))
     ));
@@ -170,7 +170,7 @@ fn unsupported_shape_routes_to_exact() {
         } else {
             assert!(matches!(
                 cand.outcome,
-                CandidateOutcome::Ineligible(DeclineReason::UnsupportedShape { .. })
+                CandidateOutcome::StaticallyIneligible(DeclineReason::UnsupportedShape { .. })
             ));
         }
     }
@@ -193,7 +193,7 @@ fn tiny_table_routes_to_online_aggregation() {
     let routing = ans.report.routing.as_ref().unwrap();
     assert!(matches!(
         routing.outcome(TechniqueKind::OnlineSampling),
-        Some(CandidateOutcome::Ineligible(
+        Some(CandidateOutcome::StaticallyIneligible(
             DeclineReason::TableTooSmall { .. }
         ))
     ));
