@@ -100,6 +100,14 @@ pub struct Analysis {
     pub verdicts: Vec<TechniqueVerdict>,
     /// Whether the plan normalized to the star linear-aggregate shape.
     pub normalized: bool,
+    /// Static upper bound on the root aggregation's group count, when the
+    /// key shapes imply one (`x % k` has at most `|k|` non-negative
+    /// residues, a literal key has one value, a global aggregate has one
+    /// group). Consumers use it to pre-size aggregation hash maps — it is
+    /// a sizing hint, not a semantic guarantee, so an under-estimate only
+    /// costs a rehash. `None` when no bound is derivable or the plan's
+    /// root is not an aggregation.
+    pub group_cardinality_hint: Option<u64>,
 }
 
 impl Analysis {
@@ -228,6 +236,7 @@ mod tests {
                 },
             ],
             normalized: true,
+            group_cardinality_hint: None,
         };
         assert!(!a.statically_eligible(TechniqueKind::OnlineSampling));
         assert!(a.statically_eligible(TechniqueKind::MiddlewareRewrite));

@@ -45,6 +45,7 @@ fn eligible(kind: TechniqueKind, guarantee: GuaranteeClass) -> TechniqueVerdict 
 pub(crate) fn run(plan: &LogicalPlan, query: Option<&AggQuery>, ctx: &LintContext) -> Analysis {
     let mut diags = Vec::new();
     let missing = missing_tables(plan, ctx);
+    let group_cardinality_hint = group_cardinality_hint(plan);
 
     let Some(q) = query else {
         shape_pass(plan, &mut diags);
@@ -63,6 +64,7 @@ pub(crate) fn run(plan: &LogicalPlan, query: Option<&AggQuery>, ctx: &LintContex
             diagnostics: diags,
             verdicts,
             normalized: false,
+            group_cardinality_hint,
         };
     };
 
@@ -79,6 +81,39 @@ pub(crate) fn run(plan: &LogicalPlan, query: Option<&AggQuery>, ctx: &LintContex
         diagnostics: diags,
         verdicts,
         normalized: true,
+        group_cardinality_hint,
+    }
+}
+
+/// Static bound on the root aggregation's group count, from key shapes
+/// alone: a global aggregate has one group, `x % k` at most `|k|`
+/// non-negative residues, a literal key one value; composite keys
+/// multiply. `None` when the root is not an aggregation or any key is
+/// unbounded. Purely shape-based — never touches data — so it holds for
+/// any catalog contents (up to sign: a negative `x` yields negative
+/// residues too, which at worst doubles the estimate; consumers treat
+/// this as a sizing hint, not a guarantee).
+fn group_cardinality_hint(plan: &LogicalPlan) -> Option<u64> {
+    let LogicalPlan::Aggregate { group_by, .. } = plan else {
+        return None;
+    };
+    group_by.iter().try_fold(1u64, |bound, (e, _)| {
+        bound.checked_mul(key_cardinality_bound(e)?)
+    })
+}
+
+fn key_cardinality_bound(e: &Expr) -> Option<u64> {
+    match e {
+        Expr::Literal(_) => Some(1),
+        Expr::Binary {
+            op: aqp_expr::BinaryOp::Mod,
+            right,
+            ..
+        } => match right.as_ref() {
+            Expr::Literal(aqp_storage::Value::Int64(k)) if *k != 0 => Some(k.unsigned_abs()),
+            _ => None,
+        },
+        _ => None,
     }
 }
 
@@ -536,5 +571,63 @@ fn risk_pass(
             suggestion: Some(Suggestion::RouteExact),
             predicts: None,
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use aqp_engine::{AggExpr, Query};
+    use aqp_expr::{col, lit};
+
+    use super::group_cardinality_hint;
+
+    #[test]
+    fn cardinality_hint_follows_key_shapes() {
+        // `id % 1000` bounds the residue count.
+        let modk = Query::scan("t")
+            .aggregate(
+                vec![(col("id").modulo(lit(1_000i64)), "g".to_string())],
+                vec![AggExpr::count_star("n")],
+            )
+            .build();
+        assert_eq!(group_cardinality_hint(&modk), Some(1_000));
+
+        // A global aggregate has exactly one group.
+        let global = Query::scan("t")
+            .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+            .build();
+        assert_eq!(group_cardinality_hint(&global), Some(1));
+
+        // Composite keys multiply; a literal contributes one value.
+        let composite = Query::scan("t")
+            .aggregate(
+                vec![
+                    (col("id").modulo(lit(8i64)), "a".to_string()),
+                    (lit(42i64), "b".to_string()),
+                ],
+                vec![AggExpr::count_star("n")],
+            )
+            .build();
+        assert_eq!(group_cardinality_hint(&composite), Some(8));
+
+        // A bare column key is unbounded; `% 0` never divides.
+        let bare = Query::scan("t")
+            .aggregate(
+                vec![(col("g"), "g".to_string())],
+                vec![AggExpr::count_star("n")],
+            )
+            .build();
+        assert_eq!(group_cardinality_hint(&bare), None);
+        let modzero = Query::scan("t")
+            .aggregate(
+                vec![(col("id").modulo(lit(0i64)), "g".to_string())],
+                vec![AggExpr::count_star("n")],
+            )
+            .build();
+        assert_eq!(group_cardinality_hint(&modzero), None);
+
+        // Non-aggregate roots carry no hint.
+        let scan = Query::scan("t").build();
+        assert_eq!(group_cardinality_hint(&scan), None);
     }
 }

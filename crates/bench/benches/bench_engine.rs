@@ -163,6 +163,83 @@ fn write_parallel_report(catalog: &Catalog) {
     eprintln!("wrote {path}");
 }
 
+/// The plans the kernel layer covers end-to-end, measured kernel-path vs
+/// scalar fallback: the scan-heavy filter and the merge-heavy group-by
+/// from the parallel sweep (the join is kernel-independent).
+fn kernel_plans() -> Vec<(&'static str, LogicalPlan)> {
+    let mut plans = sweep_plans();
+    plans.truncate(2); // filter_sum, group_by_1k
+    plans
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let catalog = catalog();
+    for (name, plan) in kernel_plans() {
+        let mut g = c.benchmark_group(format!("engine/kernels/{name}"));
+        for kernels in [false, true] {
+            let opts = ExecOptions::serial()
+                .with_kernels(kernels)
+                .with_zone_pruning(kernels);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(if kernels { "kernel" } else { "scalar" }),
+                &opts,
+                |b, &opts| b.iter(|| execute_with(&plan, &catalog, opts).unwrap()),
+            );
+        }
+        g.finish();
+    }
+    write_kernels_report(&catalog);
+}
+
+/// Emits `BENCH_engine_kernels.json` at the workspace root: single-thread
+/// median wall time and per-row cost of the typed kernel path (zone maps +
+/// fused masks + typed accumulators) against the scalar `eval` fallback on
+/// the same plans. The acceptance criterion is a ≥2× single-thread
+/// speedup on both covered sweep queries.
+fn write_kernels_report(catalog: &Catalog) {
+    const REPS: usize = 7;
+    let rows = catalog.get("t").unwrap().row_count() as f64;
+    let mut queries = Vec::new();
+    let mut all_pass = true;
+    for (name, plan) in kernel_plans() {
+        let mut ms = [0.0f64; 2]; // [scalar, kernel]
+        for (i, kernels) in [false, true].into_iter().enumerate() {
+            let opts = ExecOptions::serial()
+                .with_kernels(kernels)
+                .with_zone_pruning(kernels);
+            execute_with(&plan, catalog, opts).unwrap(); // warm-up
+            let (_, us) = median_us(REPS, || {
+                execute_with(&plan, catalog, opts).unwrap();
+            });
+            ms[i] = us / 1e3;
+        }
+        let speedup = ms[0] / ms[1];
+        all_pass &= speedup >= 2.0;
+        queries.push(format!(
+            "    {{\"query\": \"{name}\", \"rows\": {rows:.0}, \
+             \"scalar_median_ms\": {:.3}, \"kernel_median_ms\": {:.3}, \
+             \"scalar_ns_per_row\": {:.2}, \"kernel_ns_per_row\": {:.2}, \
+             \"speedup\": {speedup:.3}}}",
+            ms[0],
+            ms[1],
+            ms[0] * 1e6 / rows,
+            ms[1] * 1e6 / rows
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_kernels\",\n  \"threads\": 1,\n  \
+         \"acceptance\": \"kernel path >= 2x over scalar eval single-thread on covered plans\",\n  \
+         \"within_budget\": {all_pass},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        queries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine_kernels.json"
+    );
+    std::fs::write(path, json).expect("write kernels bench report");
+    eprintln!("wrote {path}");
+}
+
 /// The query shapes the router is probed against: a synopsis hit, a
 /// grouped ad-hoc predicate (online sampling), an ungrouped progressive
 /// shape, and a plan no approximate family supports.
@@ -413,6 +490,7 @@ criterion_group!(
     bench_group_by,
     bench_hash_join,
     bench_parallel_sweep,
+    bench_kernels,
     bench_router,
     bench_lint,
     bench_obs_overhead

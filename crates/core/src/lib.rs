@@ -95,8 +95,8 @@ pub use rewrite::RewriteTechnique;
 pub use session::{AqpSession, SessionConfig};
 pub use spec::ErrorSpec;
 pub use technique::{
-    exact_answer, Attempt, DeclineReason, Eligibility, Guarantee, Technique, TechniqueKind,
-    TechniqueProfile,
+    exact_answer, exact_answer_with, Attempt, DeclineReason, Eligibility, Guarantee, Technique,
+    TechniqueKind, TechniqueProfile,
 };
 
 // The static analyzer's surface, re-exported so session users can consume

@@ -30,7 +30,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aqp_engine::LogicalPlan;
+use aqp_engine::{ExecOptions, LogicalPlan};
 use aqp_storage::Catalog;
 
 use aqp_analyze::{Analysis, LintContext, LintPolicy, SynopsisMeta};
@@ -43,7 +43,7 @@ use crate::ola::OlaTechnique;
 use crate::online::{OnlineAqp, OnlineConfig};
 use crate::rewrite::RewriteTechnique;
 use crate::spec::ErrorSpec;
-use crate::technique::{exact_answer, Attempt, Technique, TechniqueKind};
+use crate::technique::{exact_answer_with, Attempt, Technique, TechniqueKind};
 
 /// Static span name for a candidate's eligibility probe (span names are
 /// `&'static str` by design — no per-query allocation on the trace path).
@@ -119,6 +119,18 @@ fn attach_trace(
         .into_iter()
         .find(|n| n.record.name == "query")
         .map(Arc::new);
+}
+
+/// Engine options for the session's exact executions: defaults plus the
+/// analyzer's static group-cardinality bound, so kernel aggregation maps
+/// are pre-sized and never rehash on plans whose key shapes bound the
+/// group count (`x % k`, literals, global aggregates).
+fn exec_opts(analysis: &Analysis) -> ExecOptions {
+    ExecOptions::default().with_agg_hint(
+        analysis
+            .group_cardinality_hint
+            .and_then(|h| usize::try_from(h).ok()),
+    )
 }
 
 /// Tuning knobs for the routing policy.
@@ -367,7 +379,7 @@ impl<'a> AqpSession<'a> {
         let Some(query) = query else {
             let decision = self.shape_blocked_decision(&analysis);
             count_decision(&decision);
-            let mut ans = exact_answer(self.catalog, plan, None)?;
+            let mut ans = exact_answer_with(self.catalog, plan, None, exec_opts(&analysis))?;
             ans.report.routing = Some(decision);
             ans.report.lints = Some(analysis);
             attach_trace(&mut ans.report, root, wall_start);
@@ -478,7 +490,12 @@ impl<'a> AqpSession<'a> {
                     .get(&query.fact_table)
                     .map(|t| t.row_count() as u64)
                     .ok();
-                let ans = exact_answer(self.catalog, &query.to_plan(), population)?;
+                let ans = exact_answer_with(
+                    self.catalog,
+                    &query.to_plan(),
+                    population,
+                    exec_opts(&analysis),
+                )?;
                 exact_attempt_wall = attempt_start.elapsed();
                 if span.is_recording() {
                     span.set_detail("answered");

@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use aqp_engine::{execute, LogicalPlan};
+use aqp_engine::{execute_with, ExecOptions, LogicalPlan};
 use aqp_stats::Estimate;
 use aqp_storage::Catalog;
 
@@ -119,9 +119,21 @@ pub fn exact_answer(
     plan: &LogicalPlan,
     population_rows: Option<u64>,
 ) -> Result<ApproximateAnswer, AqpError> {
+    exact_answer_with(catalog, plan, population_rows, ExecOptions::default())
+}
+
+/// [`exact_answer`] with explicit engine options — the session uses this
+/// to thread the analyzer's static group-cardinality hint into the
+/// engine's aggregation maps ([`ExecOptions::with_agg_hint`]).
+pub fn exact_answer_with(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    population_rows: Option<u64>,
+    opts: ExecOptions,
+) -> Result<ApproximateAnswer, AqpError> {
     let start = Instant::now();
     let mut span = aqp_obs::span("exact:execute");
-    let result = execute(plan, catalog)?;
+    let result = execute_with(plan, catalog, opts)?;
     if span.is_recording() {
         span.set_rows(result.stats().rows_scanned);
     }

@@ -293,6 +293,109 @@ impl AggState {
         }
     }
 
+    /// Typed fast path for [`AggState::update`] with an `f64` input.
+    /// Bitwise-identical to `update(&Value::Float64(x))` — the comparisons
+    /// mirror [`Value::sql_cmp`]'s universal f64 coercion, including the
+    /// first-NaN-sticks MIN/MAX quirk (NaN comparisons are never "better",
+    /// but a NaN that arrives while the tracker is empty is kept).
+    #[inline]
+    pub fn update_f64(&mut self, x: f64) {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => *n += 1,
+            AggState::Sum { sum, saw } => {
+                *sum += x;
+                *saw = true;
+            }
+            AggState::Avg { sum, count } => {
+                *sum += x;
+                *count += 1;
+            }
+            AggState::Min(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => matches!(
+                        b.as_f64().and_then(|bf| x.partial_cmp(&bf)),
+                        Some(std::cmp::Ordering::Less)
+                    ),
+                };
+                if better {
+                    *best = Some(Value::Float64(x));
+                }
+            }
+            AggState::Max(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => matches!(
+                        b.as_f64().and_then(|bf| x.partial_cmp(&bf)),
+                        Some(std::cmp::Ordering::Greater)
+                    ),
+                };
+                if better {
+                    *best = Some(Value::Float64(x));
+                }
+            }
+            AggState::CountDistinct(set) => {
+                set.insert(KeyAtom::from_value(&Value::Float64(x)));
+            }
+            AggState::VarSamp(m) => m.push(x),
+        }
+    }
+
+    /// Typed fast path for [`AggState::update`] with an `i64` input.
+    /// Bitwise-identical to `update(&Value::Int64(x))`: SUM/AVG/VAR see
+    /// `x as f64` (the `as_f64` coercion), MIN/MAX compare in f64 but
+    /// store the integer value, COUNT DISTINCT keys on `KeyAtom::Int`.
+    #[inline]
+    pub fn update_i64(&mut self, x: i64) {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => *n += 1,
+            AggState::Sum { sum, saw } => {
+                *sum += x as f64;
+                *saw = true;
+            }
+            AggState::Avg { sum, count } => {
+                *sum += x as f64;
+                *count += 1;
+            }
+            AggState::Min(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => matches!(
+                        b.as_f64().and_then(|bf| (x as f64).partial_cmp(&bf)),
+                        Some(std::cmp::Ordering::Less)
+                    ),
+                };
+                if better {
+                    *best = Some(Value::Int64(x));
+                }
+            }
+            AggState::Max(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => matches!(
+                        b.as_f64().and_then(|bf| (x as f64).partial_cmp(&bf)),
+                        Some(std::cmp::Ordering::Greater)
+                    ),
+                };
+                if better {
+                    *best = Some(Value::Int64(x));
+                }
+            }
+            AggState::CountDistinct(set) => {
+                set.insert(KeyAtom::Int(x));
+            }
+            AggState::VarSamp(m) => m.push(x as f64),
+        }
+    }
+
+    /// Typed fast path for a NULL input: only `COUNT(*)` advances.
+    #[inline]
+    pub fn update_null(&mut self) {
+        if let AggState::CountStar(n) = self {
+            *n += 1;
+        }
+    }
+
     /// Absorbs another partial state for the same aggregate function
     /// (two-phase aggregation: thread-local partials, then a merge pass).
     ///
@@ -388,6 +491,146 @@ impl AggState {
                 }
             }
         }
+    }
+}
+
+/// Fibonacci multiplier for spreading i64 group keys across the table.
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One dense group: its `i64` key and per-aggregate states.
+pub type GroupStates = (i64, Vec<AggState>);
+
+/// An open-addressing hash map specialized for single-`i64` group keys,
+/// the shape the fused aggregation kernel handles (`GROUP BY int_col` and
+/// `GROUP BY int_col % k`). Groups live in a dense `Vec` in first-seen
+/// order — the property the tree merge relies on to stay deterministic —
+/// and the table stores 1-based indices into it (0 = empty slot).
+///
+/// NULL keys get a dedicated side slot rather than a sentinel, so the
+/// full `i64` domain remains usable as keys.
+#[derive(Debug)]
+pub struct I64GroupMap {
+    /// Probe table of `group_index + 1` entries; 0 marks an empty slot.
+    table: Vec<u32>,
+    /// Dense groups in first-seen order.
+    groups: Vec<GroupStates>,
+    null_group: Option<Vec<AggState>>,
+    funcs: Vec<AggFunc>,
+}
+
+impl I64GroupMap {
+    /// Creates a map for the given aggregate functions, pre-sizing the
+    /// probe table for `capacity_hint` expected groups (the static
+    /// analyzer's cardinality hint) so the hot loop never rehashes.
+    pub fn new(funcs: Vec<AggFunc>, capacity_hint: usize) -> Self {
+        let cap = (capacity_hint.clamp(8, 1 << 24) * 2).next_power_of_two();
+        Self {
+            table: vec![0; cap],
+            groups: Vec::new(),
+            null_group: None,
+            funcs,
+        }
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.funcs.iter().map(|f| AggState::new(*f)).collect()
+    }
+
+    #[inline]
+    fn home_slot(key: i64, mask: usize) -> usize {
+        (((key as u64).wrapping_mul(FIB_HASH)) >> 32) as usize & mask
+    }
+
+    fn find_or_insert(&mut self, key: i64) -> usize {
+        // Keep load factor under 3/4 so linear probes stay short.
+        if (self.groups.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut i = Self::home_slot(key, mask);
+        loop {
+            match self.table[i] {
+                0 => {
+                    self.table[i] =
+                        u32::try_from(self.groups.len() + 1).expect("more than u32::MAX-1 groups");
+                    let states = self.fresh_states();
+                    self.groups.push((key, states));
+                    return self.groups.len() - 1;
+                }
+                e => {
+                    let gi = (e - 1) as usize;
+                    if self.groups[gi].0 == key {
+                        return gi;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.table.len() * 2;
+        let mask = new_cap - 1;
+        let mut table = vec![0u32; new_cap];
+        for (gi, (key, _)) in self.groups.iter().enumerate() {
+            let mut i = Self::home_slot(*key, mask);
+            while table[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            table[i] = u32::try_from(gi + 1).expect("more than u32::MAX-1 groups");
+        }
+        self.table = table;
+    }
+
+    /// The aggregate states for `key`, creating the group on first sight.
+    #[inline]
+    pub fn slot(&mut self, key: i64) -> &mut [AggState] {
+        let gi = self.find_or_insert(key);
+        &mut self.groups[gi].1
+    }
+
+    /// The aggregate states for the NULL key.
+    pub fn null_slot(&mut self) -> &mut [AggState] {
+        if self.null_group.is_none() {
+            self.null_group = Some(self.fresh_states());
+        }
+        self.null_group.as_mut().expect("just initialized")
+    }
+
+    /// Number of non-NULL groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the map holds no groups at all (NULL group included).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty() && self.null_group.is_none()
+    }
+
+    /// Absorbs `other`'s partials. `self` must cover the *earlier* morsels:
+    /// per group, states merge via [`AggState::merge`] with `self` on the
+    /// left, so float summation order — and therefore the bits of the
+    /// result — is fixed by morsel order, not thread schedule. `other`'s
+    /// first-seen group order is preserved for groups new to `self`.
+    pub fn merge_from(&mut self, other: I64GroupMap) {
+        for (key, states) in other.groups {
+            let slot = self.slot(key);
+            for (a, b) in slot.iter_mut().zip(states) {
+                a.merge(b);
+            }
+        }
+        if let Some(states) = other.null_group {
+            let slot = self.null_slot();
+            for (a, b) in slot.iter_mut().zip(states) {
+                a.merge(b);
+            }
+        }
+    }
+
+    /// Consumes the map, yielding dense groups in first-seen order plus
+    /// the NULL group, if any.
+    pub fn into_groups(self) -> (Vec<GroupStates>, Option<Vec<AggState>>) {
+        (self.groups, self.null_group)
     }
 }
 
@@ -579,6 +822,140 @@ mod tests {
         ] {
             let atom = KeyAtom::from_value(&v);
             assert_eq!(atom.to_value(), v);
+        }
+    }
+
+    #[test]
+    fn typed_updates_match_value_updates() {
+        let inputs: [(Option<f64>, Option<i64>); 6] = [
+            (Some(3.0), Some(3)),
+            (None, None),
+            (Some(-2.5), Some(-2)),
+            (Some(f64::NAN), Some(i64::MAX)),
+            (Some(0.5), Some(7)),
+            (Some(3.0), Some(3)),
+        ];
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::CountDistinct,
+            AggFunc::VarSamp,
+        ] {
+            let mut vf = AggState::new(func);
+            let mut tf = AggState::new(func);
+            let mut vi = AggState::new(func);
+            let mut ti = AggState::new(func);
+            for (f, i) in &inputs {
+                match f {
+                    Some(x) => {
+                        vf.update(&Value::Float64(*x));
+                        tf.update_f64(*x);
+                    }
+                    None => {
+                        vf.update(&Value::Null);
+                        tf.update_null();
+                    }
+                }
+                match i {
+                    Some(x) => {
+                        vi.update(&Value::Int64(*x));
+                        ti.update_i64(*x);
+                    }
+                    None => {
+                        vi.update(&Value::Null);
+                        ti.update_null();
+                    }
+                }
+            }
+            // Compare finished values bit-for-bit (NaN-safe).
+            let bits = |v: Value| match v {
+                Value::Float64(x) => format!("f{}", x.to_bits()),
+                other => format!("{other:?}"),
+            };
+            assert_eq!(bits(vf.finish()), bits(tf.finish()), "{func} f64 path");
+            assert_eq!(bits(vi.finish()), bits(ti.finish()), "{func} i64 path");
+        }
+    }
+
+    #[test]
+    fn typed_min_keeps_first_nan_like_value_path() {
+        let mut via_value = AggState::new(AggFunc::Min);
+        let mut typed = AggState::new(AggFunc::Min);
+        for x in [f64::NAN, 1.0, -5.0] {
+            via_value.update(&Value::Float64(x));
+            typed.update_f64(x);
+        }
+        let (Value::Float64(a), Value::Float64(b)) = (via_value.finish(), typed.finish()) else {
+            panic!("expected floats");
+        };
+        assert_eq!(a.to_bits(), b.to_bits()); // both keep the first NaN
+    }
+
+    #[test]
+    fn group_map_basics_and_order() {
+        let mut m = I64GroupMap::new(vec![AggFunc::CountStar, AggFunc::Sum], 4);
+        for (k, v) in [(7i64, 1.0), (3, 2.0), (7, 3.0), (-1, 4.0)] {
+            let slot = m.slot(k);
+            slot[0].update_null();
+            slot[1].update_f64(v);
+        }
+        m.null_slot()[0].update_null();
+        m.null_slot()[1].update_f64(10.0);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let (groups, null) = m.into_groups();
+        // First-seen order.
+        let keys: Vec<i64> = groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![7, 3, -1]);
+        assert_eq!(groups[0].1[1].finish(), Value::Float64(4.0));
+        assert_eq!(null.expect("null group")[1].finish(), Value::Float64(10.0));
+    }
+
+    #[test]
+    fn group_map_grows_past_hint() {
+        // Hint of 2 but 10k distinct keys: forces several rehashes.
+        let mut m = I64GroupMap::new(vec![AggFunc::Count], 2);
+        for k in 0..10_000i64 {
+            m.slot(k * 1_000_003)[0].update_i64(k);
+        }
+        assert_eq!(m.len(), 10_000);
+        let (groups, null) = m.into_groups();
+        assert!(null.is_none());
+        assert!(groups.iter().all(|(_, s)| s[0].finish() == Value::Int64(1)));
+    }
+
+    #[test]
+    fn group_map_merge_matches_single_map() {
+        let funcs = vec![AggFunc::Sum, AggFunc::Min];
+        let feed = |m: &mut I64GroupMap, rows: &[(i64, f64)]| {
+            for (k, v) in rows {
+                let slot = m.slot(*k);
+                slot[0].update_f64(*v);
+                slot[1].update_f64(*v);
+            }
+        };
+        let rows = [(1i64, 0.1), (2, 0.2), (1, 0.3), (3, 0.4), (2, 0.5)];
+        let mut single = I64GroupMap::new(funcs.clone(), 4);
+        feed(&mut single, &rows);
+        let mut left = I64GroupMap::new(funcs.clone(), 4);
+        let mut right = I64GroupMap::new(funcs, 4);
+        feed(&mut left, &rows[..2]);
+        feed(&mut right, &rows[2..]);
+        left.merge_from(right);
+        let (a, _) = single.into_groups();
+        let (mut b, _) = left.into_groups();
+        b.sort_by_key(|(k, _)| *k);
+        let mut a = a;
+        a.sort_by_key(|(k, _)| *k);
+        for ((ka, sa), (kb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            for (x, y) in sa.iter().zip(sb) {
+                assert_eq!(format!("{:?}", x.finish()), format!("{:?}", y.finish()));
+            }
         }
     }
 

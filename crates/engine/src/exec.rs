@@ -19,11 +19,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use aqp_expr::eval::{eval, eval_predicate_mask};
-use aqp_expr::Expr;
-use aqp_storage::{Block, Catalog, Column, Schema, Value};
+use aqp_expr::{prune_predicate, Expr, PruneVerdict};
+use aqp_storage::{Block, Catalog, Column, Schema, Table, Value};
 
 use crate::agg::{AggState, KeyAtom};
 use crate::error::EngineError;
+use crate::kernel::{tree_merge, FusedAggKernel, KernelAcc, PredKernel};
 use crate::plan::{LogicalPlan, SortKey};
 use crate::pool::{self, ExecOptions};
 use crate::result::{ExecStats, ResultSet};
@@ -115,11 +116,96 @@ fn exec_node(
             span.set_detail(table.to_string());
         }
     }
+    let pruned_before = stats.blocks_pruned;
     let out = exec_node_inner(plan, catalog, stats, opts)?;
     if span.is_recording() {
         span.set_rows(out.iter().map(|b| b.len() as u64).sum());
+        // Surface the zone-map prune rate in the operator row.
+        let pruned = stats.blocks_pruned - pruned_before;
+        if pruned > 0 {
+            if let Some(table) = node_table(plan) {
+                span.set_detail(format!("{table} [{pruned} blocks pruned]"));
+            }
+        }
     }
     Ok(out)
+}
+
+/// What a block's zone map says about a fused chain's predicate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanVerdict {
+    /// Some predicate can never be true on this block: skip it outright.
+    Pruned,
+    /// Every predicate is true on every (non-pruned) row: no mask needed.
+    AllTrue,
+    /// Undecided: evaluate the predicate masks row by row.
+    Evaluate,
+}
+
+/// Classifies a table's blocks against a predicate chain using the
+/// table's cached zone maps. With pruning disabled (or no predicates)
+/// every block gets the conservative verdict. Verdicts depend only on
+/// data layout, so downstream stats and results stay identical across
+/// thread counts.
+fn classify_blocks(
+    t: &Table,
+    predicates: &[&Expr],
+    zone_pruning: bool,
+) -> Vec<(Arc<Block>, ScanVerdict)> {
+    let schema = t.schema();
+    t.iter_blocks()
+        .map(|(idx, block)| {
+            let verdict = if predicates.is_empty() {
+                ScanVerdict::AllTrue
+            } else if !zone_pruning {
+                ScanVerdict::Evaluate
+            } else {
+                let zone = t.zone(idx);
+                let mut v = ScanVerdict::AllTrue;
+                for p in predicates {
+                    match prune_predicate(p, schema, zone) {
+                        PruneVerdict::AllFalse => {
+                            v = ScanVerdict::Pruned;
+                            break;
+                        }
+                        PruneVerdict::AllTrue => {}
+                        PruneVerdict::Unknown => v = ScanVerdict::Evaluate,
+                    }
+                }
+                v
+            };
+            (Arc::clone(block), verdict)
+        })
+        .collect()
+}
+
+/// Records one plan dispatch on the always-on kernel/fallback counter.
+fn record_dispatch(kernel: bool) {
+    aqp_obs::metrics::global()
+        .counter_labeled(
+            aqp_obs::names::KERNEL_DISPATCH_TOTAL,
+            aqp_obs::names::KERNEL_DISPATCH_LABEL,
+            if kernel {
+                aqp_obs::names::KERNEL_DISPATCH_KERNEL
+            } else {
+                aqp_obs::names::KERNEL_DISPATCH_FALLBACK
+            },
+        )
+        .inc(1);
+}
+
+/// Feeds one scan's block accounting into the always-on prune-rate
+/// counters (`pruned / (pruned + scanned)` is the prune rate).
+fn record_scan_counters(scan_stats: &ExecStats) {
+    let m = aqp_obs::metrics::global();
+    if scan_stats.blocks_pruned > 0 {
+        m.counter(aqp_obs::names::BLOCKS_PRUNED_TOTAL)
+            .inc(scan_stats.blocks_pruned);
+    }
+    if scan_stats.blocks_scanned > 0 {
+        m.counter(aqp_obs::names::BLOCKS_SCANNED_TOTAL)
+            .inc(scan_stats.blocks_scanned);
+    }
 }
 
 fn exec_node_inner(
@@ -186,8 +272,14 @@ fn exec_node_inner(
             group_by,
             aggregates,
         } => {
-            let batches = exec_node(input, catalog, stats, opts)?;
             let schema = plan.schema(catalog)?;
+            if let Some(out) =
+                exec_fused_agg(input, group_by, aggregates, &schema, catalog, stats, opts)?
+            {
+                return Ok(out);
+            }
+            record_dispatch(false);
+            let batches = exec_node(input, catalog, stats, opts)?;
             let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
             let threads = morsel_threads(opts, batches.len().div_ceil(AGG_MORSEL_BLOCKS), rows);
             hash_aggregate(&batches, group_by, aggregates, &schema, threads)
@@ -285,8 +377,18 @@ fn exec_fused(
     opts: &ExecOptions,
 ) -> Result<Vec<Arc<Block>>, EngineError> {
     let t = catalog.get(fused.table)?;
-    let blocks: Vec<Arc<Block>> = t.iter_blocks().map(|(_, b)| Arc::clone(b)).collect();
-    let rows: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+    let blocks = classify_blocks(&t, &fused.predicates, opts.zone_pruning);
+    // Predicates compile to a typed selection-mask kernel when every
+    // shape is modeled; otherwise the scalar mask path runs unchanged.
+    let pred_kernel = if opts.kernels && !fused.predicates.is_empty() {
+        PredKernel::compile(&fused.predicates, t.schema())
+    } else {
+        None
+    };
+    if !fused.predicates.is_empty() {
+        record_dispatch(pred_kernel.is_some());
+    }
+    let rows: u64 = blocks.iter().map(|(b, _)| b.len() as u64).sum();
     let threads = morsel_threads(opts, blocks.len(), rows);
     // Pair the projection exprs with the output schema up front so the
     // morsel closure never has to re-derive that they exist together.
@@ -295,22 +397,43 @@ fn exec_fused(
     // operator span through an explicit context rather than the worker's
     // (empty) thread-local current span.
     let op_ctx = aqp_obs::current_ctx();
+    let pred_kernel = pred_kernel.as_ref();
     let (results, scan_stats) = pool::parallel_map_with_stats(
         blocks,
         threads,
-        |_, block, s| -> Result<Option<Arc<Block>>, EngineError> {
+        |_, (block, verdict), s| -> Result<Option<Arc<Block>>, EngineError> {
+            if verdict == ScanVerdict::Pruned {
+                s.blocks_pruned += 1;
+                return Ok(None);
+            }
             let mut morsel = aqp_obs::child_span("morsel:scan", op_ctx);
             s.blocks_scanned += 1;
             s.rows_scanned += block.len() as u64;
             let mut cur = block;
-            for pred in &fused.predicates {
-                let mask = eval_predicate_mask(pred, &cur)?;
-                if mask.iter().all(|&keep| keep) {
-                    // Block passes whole: keep the shared reference.
-                } else if mask.iter().any(|&keep| keep) {
-                    cur = Arc::new(cur.filter(&mask));
+            if verdict == ScanVerdict::Evaluate {
+                if let Some(kernel) = pred_kernel {
+                    // One fused mask for the whole chain: rows where any
+                    // predicate is FALSE or NULL drop, exactly as under
+                    // one-predicate-at-a-time filtering.
+                    let mask = kernel.selection_mask(&cur);
+                    if mask.iter().all(|&keep| keep) {
+                        // Block passes whole: keep the shared reference.
+                    } else if mask.iter().any(|&keep| keep) {
+                        cur = Arc::new(cur.filter(&mask));
+                    } else {
+                        return Ok(None);
+                    }
                 } else {
-                    return Ok(None);
+                    for pred in &fused.predicates {
+                        let mask = eval_predicate_mask(pred, &cur)?;
+                        if mask.iter().all(|&keep| keep) {
+                            // Block passes whole: keep the shared reference.
+                        } else if mask.iter().any(|&keep| keep) {
+                            cur = Arc::new(cur.filter(&mask));
+                        } else {
+                            return Ok(None);
+                        }
+                    }
                 }
             }
             if let Some((exprs, schema)) = &projection {
@@ -325,6 +448,7 @@ fn exec_fused(
         },
     );
     *stats = stats.merge(&scan_stats);
+    record_scan_counters(&scan_stats);
     let mut out = Vec::new();
     for r in results {
         if let Some(block) = r? {
@@ -332,6 +456,134 @@ fn exec_fused(
         }
     }
     Ok(out)
+}
+
+/// Tries the fused filter→aggregate kernel path: the aggregation's input
+/// is a bare scan or a project-free fused chain, and every predicate,
+/// group key, and aggregate argument compiles to a typed kernel. Returns
+/// `Ok(None)` to send the plan down the scalar path.
+///
+/// The kernel path always computes per-morsel partials and folds them
+/// along the fixed pairwise [`tree_merge`] — even at `threads == 1` — so
+/// a given plan's result is bit-for-bit identical at every thread count.
+fn exec_fused_agg(
+    input: &LogicalPlan,
+    group_by: &[(Expr, String)],
+    aggregates: &[crate::agg::AggExpr],
+    out_schema: &Arc<Schema>,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
+) -> Result<Option<Vec<Arc<Block>>>, EngineError> {
+    if !opts.kernels {
+        return Ok(None);
+    }
+    let (table, predicates) = match input {
+        LogicalPlan::Scan { table } => (table.as_str(), Vec::new()),
+        _ => match fuse(input) {
+            Some(FusedScan {
+                table,
+                predicates,
+                project: None,
+            }) => (table, predicates),
+            _ => return Ok(None),
+        },
+    };
+    let t = catalog.get(table)?;
+    let Some(kernel) = FusedAggKernel::compile(&predicates, group_by, aggregates, t.schema())
+    else {
+        return Ok(None);
+    };
+    record_dispatch(true);
+    let blocks = classify_blocks(&t, &predicates, opts.zone_pruning);
+    let rows: u64 = blocks.iter().map(|(b, _)| b.len() as u64).sum();
+    // Morsel boundaries come from the full block list (pruned blocks keep
+    // their slots and are skipped inside the morsel), so the partial
+    // tree — and hence the result — is identical with pruning on or off.
+    let morsels: Vec<Vec<(Arc<Block>, ScanVerdict)>> = blocks
+        .chunks(AGG_MORSEL_BLOCKS)
+        .map(|c| c.to_vec())
+        .collect();
+    let threads = morsel_threads(opts, morsels.len(), rows);
+    // The scan side of the fusion gets its own operator span (nested
+    // under the caller's `op:aggregate` span) so traces still show the
+    // aggregate-over-scan shape the plan describes.
+    let mut scan_span = aqp_obs::span("op:fused-scan");
+    if scan_span.is_recording() {
+        scan_span.set_detail(format!("{table} [kernel]"));
+    }
+    let op_ctx = aqp_obs::current_ctx();
+    let kernel_ref = &kernel;
+    let (partials, scan_stats) =
+        pool::parallel_map_with_stats(morsels, threads, |_, morsel, s| -> KernelAcc {
+            let mut span = aqp_obs::child_span("agg:partial", op_ctx);
+            let mut acc = kernel_ref.new_acc(opts.agg_hint);
+            let mut rows_in = 0u64;
+            for (block, verdict) in &morsel {
+                match verdict {
+                    ScanVerdict::Pruned => s.blocks_pruned += 1,
+                    v => {
+                        s.blocks_scanned += 1;
+                        s.rows_scanned += block.len() as u64;
+                        rows_in +=
+                            kernel_ref.accumulate(block, &mut acc, *v == ScanVerdict::Evaluate);
+                    }
+                }
+            }
+            span.set_rows(rows_in);
+            acc
+        });
+    *stats = stats.merge(&scan_stats);
+    record_scan_counters(&scan_stats);
+    if scan_span.is_recording() {
+        scan_span.set_rows(scan_stats.rows_scanned);
+        scan_span.set_detail(format!(
+            "{table} [kernel, {} blocks pruned]",
+            scan_stats.blocks_pruned
+        ));
+    }
+    scan_span.finish();
+    let mut merge_span = aqp_obs::span("agg:merge");
+    let acc = tree_merge(partials).unwrap_or_else(|| kernel.new_acc(None));
+    // Deterministic output order matching the scalar path's key sort:
+    // NULL key first, then keys ascending.
+    let group_rows: Vec<(Option<i64>, Vec<AggState>)> = match acc {
+        KernelAcc::Global(states) => vec![(None, states)],
+        KernelAcc::Grouped(map) => {
+            let (mut groups, null_group) = map.into_groups();
+            groups.sort_unstable_by_key(|(k, _)| *k);
+            let mut v = Vec::with_capacity(groups.len() + 1);
+            if let Some(states) = null_group {
+                v.push((None, states));
+            }
+            v.extend(groups.into_iter().map(|(k, s)| (Some(k), s)));
+            v
+        }
+    };
+    merge_span.set_rows(group_rows.len() as u64);
+    merge_span.finish();
+    let grouped = !group_by.is_empty();
+    let mut out = Vec::new();
+    let mut current = Block::with_capacity(Arc::clone(out_schema), OUTPUT_BLOCK_ROWS);
+    let mut row: Vec<Value> = Vec::with_capacity(out_schema.len());
+    for (key, states) in group_rows {
+        row.clear();
+        if grouped {
+            row.push(key.map_or(Value::Null, Value::Int64));
+        }
+        row.extend(states.iter().map(AggState::finish));
+        current.push_row(&row).map_err(EngineError::Storage)?;
+        if current.len() == OUTPUT_BLOCK_ROWS {
+            out.push(Arc::new(std::mem::replace(
+                &mut current,
+                Block::with_capacity(Arc::clone(out_schema), OUTPUT_BLOCK_ROWS),
+            )));
+        }
+    }
+    if !current.is_empty() {
+        out.push(Arc::new(current));
+    }
+    Ok(Some(out))
 }
 
 /// Applies a predicate to a batch list on up to `threads` workers.
@@ -479,12 +731,8 @@ fn hash_join(
             let mut morsel = aqp_obs::child_span("join:materialize", op_ctx);
             morsel.set_rows(chunk.len() as u64);
             let mut block = Block::with_capacity(Arc::clone(schema), chunk.len());
-            let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
             for &(lbi, li, bi, ri) in chunk {
-                row_buf.clear();
-                row_buf.extend(left_batches[lbi].row(li));
-                row_buf.extend(right_batches[bi].row(ri));
-                block.push_row(&row_buf).map_err(EngineError::Storage)?;
+                block.gather_concat_row(&left_batches[lbi], li, &right_batches[bi], ri);
             }
             Ok(Arc::new(block))
         },
@@ -524,7 +772,6 @@ fn hash_join_serial(
     let _probe_span = aqp_obs::span("join:probe");
     let mut out = Vec::new();
     let mut current = Block::with_capacity(Arc::clone(schema), OUTPUT_BLOCK_ROWS);
-    let mut row_buf: Vec<Value> = Vec::with_capacity(schema.len());
     for block in left_batches {
         let keys = eval(left_key, block)?;
         for li in 0..block.len() {
@@ -536,10 +783,7 @@ fn hash_join_serial(
                 continue;
             };
             for &(bi, ri) in matches {
-                row_buf.clear();
-                row_buf.extend(block.row(li));
-                row_buf.extend(right_batches[bi].row(ri));
-                current.push_row(&row_buf).map_err(EngineError::Storage)?;
+                current.gather_concat_row(block, li, &right_batches[bi], ri);
                 if current.len() == OUTPUT_BLOCK_ROWS {
                     out.push(Arc::new(std::mem::replace(
                         &mut current,
@@ -1212,10 +1456,20 @@ mod morsel_parallel_tests {
             .build();
         let serial = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
         let parallel = execute_with(&plan, &c, ExecOptions::with_threads(4)).unwrap();
-        // Every base block is scanned exactly once in both modes.
-        assert_eq!(serial.stats().blocks_scanned, 188); // ceil(12000/64)
-        assert_eq!(parallel.stats(), serial.stats());
+        // Every base block is either scanned or zone-pruned exactly once,
+        // in both modes. v = i % 251 with 64-row blocks, so plenty of
+        // blocks sit entirely in [100, 250] and prune against v < 100.
+        let s = serial.stats();
+        assert_eq!(s.blocks_scanned + s.blocks_pruned, 188); // ceil(12000/64)
+        assert!(s.blocks_pruned > 0, "zone maps should prune some blocks");
+        assert_eq!(parallel.stats(), s);
         assert_eq!(parallel.rows(), serial.rows());
+        // With pruning off, every block is scanned.
+        let unpruned =
+            execute_with(&plan, &c, ExecOptions::serial().with_zone_pruning(false)).unwrap();
+        assert_eq!(unpruned.stats().blocks_scanned, 188);
+        assert_eq!(unpruned.stats().blocks_pruned, 0);
+        assert_eq!(unpruned.rows(), serial.rows());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod agg;
 pub mod error;
 pub mod exec;
+pub mod kernel;
 pub mod plan;
 pub mod pool;
 pub mod result;

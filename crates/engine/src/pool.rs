@@ -25,12 +25,29 @@ pub struct ExecOptions {
     /// the serial path (bit-for-bit identical to the pre-parallel engine);
     /// values above 1 enable the scoped worker pool. Never 0 (clamped).
     pub threads: usize,
+    /// Whether fused scans may skip whole blocks whose zone map proves the
+    /// predicate can never select a row. Pruning decisions depend only on
+    /// data layout, so results and stats stay thread-count independent.
+    pub zone_pruning: bool,
+    /// Whether aggregation may compile to typed column kernels (selection
+    /// masks feeding typed accumulators) instead of the scalar
+    /// `Value`-materializing path. Kernel-path results are bit-for-bit
+    /// identical across thread counts by construction.
+    pub kernels: bool,
+    /// Expected group cardinality for aggregations, when a planner or the
+    /// static analyzer can bound it (e.g. `GROUP BY col % 1000` has at
+    /// most 1000 groups). Pre-sizes kernel group maps so the hot loop
+    /// never rehashes; `None` falls back to growth-on-demand.
+    pub agg_hint: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         Self {
             threads: default_threads(),
+            zone_pruning: true,
+            kernels: true,
+            agg_hint: None,
         }
     }
 }
@@ -38,14 +55,36 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// Options pinned to the serial execution path.
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
     }
 
     /// Options with an explicit worker count (clamped to at least 1).
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            ..Self::default()
         }
+    }
+
+    /// Returns the options with zone-map block pruning enabled/disabled.
+    pub fn with_zone_pruning(mut self, on: bool) -> Self {
+        self.zone_pruning = on;
+        self
+    }
+
+    /// Returns the options with typed aggregation kernels enabled/disabled.
+    pub fn with_kernels(mut self, on: bool) -> Self {
+        self.kernels = on;
+        self
+    }
+
+    /// Returns the options with a group-cardinality hint attached.
+    pub fn with_agg_hint(mut self, hint: Option<usize>) -> Self {
+        self.agg_hint = hint;
+        self
     }
 }
 
@@ -98,7 +137,7 @@ where
     let obs_on = aqp_obs::is_enabled();
     let queue_wait = obs_on.then(|| {
         aqp_obs::metrics::global().histogram(
-            "engine_pool_queue_wait_us",
+            aqp_obs::names::POOL_QUEUE_WAIT_US,
             aqp_obs::metrics::LATENCY_US_BOUNDS,
         )
     });
@@ -136,10 +175,10 @@ where
     if let Some(t0) = scope_start {
         let wall = t0.elapsed().as_secs_f64();
         let m = aqp_obs::metrics::global();
-        m.gauge("engine_pool_workers").set(workers as f64);
+        m.gauge(aqp_obs::names::POOL_WORKERS).set(workers as f64);
         if wall > 0.0 {
             let busy = busy_total.into_inner().as_secs_f64();
-            m.gauge("engine_pool_worker_utilization")
+            m.gauge(aqp_obs::names::POOL_WORKER_UTILIZATION)
                 .set(busy / (workers as f64 * wall));
         }
     }

@@ -14,6 +14,11 @@ use aqp_storage::{Block, Column, Schema, StorageError, Value};
 pub struct ExecStats {
     /// Base-table blocks read by scans.
     pub blocks_scanned: u64,
+    /// Base-table blocks skipped outright because their zone map proved
+    /// the scan predicate could never select a row. Pruned blocks do not
+    /// count toward `blocks_scanned`/`rows_scanned` — their data was
+    /// never touched, which is the entire point.
+    pub blocks_pruned: u64,
     /// Base-table rows read by scans.
     pub rows_scanned: u64,
     /// Rows produced by the root operator.
@@ -25,6 +30,7 @@ impl ExecStats {
     pub fn merge(&self, other: &ExecStats) -> ExecStats {
         ExecStats {
             blocks_scanned: self.blocks_scanned + other.blocks_scanned,
+            blocks_pruned: self.blocks_pruned + other.blocks_pruned,
             rows_scanned: self.rows_scanned + other.rows_scanned,
             rows_output: self.rows_output + other.rows_output,
         }
@@ -218,16 +224,19 @@ mod tests {
     fn stats_merge() {
         let a = ExecStats {
             blocks_scanned: 1,
+            blocks_pruned: 4,
             rows_scanned: 10,
             rows_output: 5,
         };
         let b = ExecStats {
             blocks_scanned: 2,
+            blocks_pruned: 1,
             rows_scanned: 20,
             rows_output: 7,
         };
         let m = a.merge(&b);
         assert_eq!(m.blocks_scanned, 3);
+        assert_eq!(m.blocks_pruned, 5);
         assert_eq!(m.rows_scanned, 30);
         assert_eq!(m.rows_output, 12);
     }

@@ -13,7 +13,9 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod hash;
+pub mod zone;
 
 pub use error::ExprError;
 pub use expr::{col, lit, BinaryOp, Expr};
 pub use hash::stable_hash64;
+pub use zone::{prune_predicate, PruneVerdict};

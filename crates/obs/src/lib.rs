@@ -28,6 +28,7 @@
 #![deny(unsafe_code)]
 
 pub mod metrics;
+pub mod names;
 pub mod timing;
 pub mod trace;
 

@@ -1,0 +1,36 @@
+//! Canonical metric names shared across crates.
+//!
+//! Metrics are looked up by string name in the global registry; a typo
+//! silently creates a second time series. Emitters and dashboards/tests
+//! should both reference these constants so the names stay a single
+//! source of truth.
+
+/// Counter: base-table blocks skipped by zone-map pruning. Always on.
+/// The prune *rate* is `pruned / (pruned + scanned)` using
+/// [`BLOCKS_SCANNED_TOTAL`] as the denominator.
+pub const BLOCKS_PRUNED_TOTAL: &str = "aqp_blocks_pruned_total";
+
+/// Counter: base-table blocks actually read by scans. Always on.
+pub const BLOCKS_SCANNED_TOTAL: &str = "aqp_blocks_scanned_total";
+
+/// Labeled counter: plan dispatches through the typed kernel path vs the
+/// scalar fallback. Always on.
+pub const KERNEL_DISPATCH_TOTAL: &str = "aqp_kernel_dispatch_total";
+
+/// Label key for [`KERNEL_DISPATCH_TOTAL`].
+pub const KERNEL_DISPATCH_LABEL: &str = "path";
+
+/// Label value: the plan compiled to typed kernels.
+pub const KERNEL_DISPATCH_KERNEL: &str = "kernel";
+
+/// Label value: the plan ran on the scalar `Value` path.
+pub const KERNEL_DISPATCH_FALLBACK: &str = "fallback";
+
+/// Histogram: time a morsel spends queued before a worker picks it up.
+pub const POOL_QUEUE_WAIT_US: &str = "engine_pool_queue_wait_us";
+
+/// Gauge: workers participating in the most recent pooled operator.
+pub const POOL_WORKERS: &str = "engine_pool_workers";
+
+/// Gauge: busy-time fraction of the most recent pooled operator.
+pub const POOL_WORKER_UTILIZATION: &str = "engine_pool_worker_utilization";

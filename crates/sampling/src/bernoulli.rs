@@ -38,9 +38,7 @@ pub fn bernoulli_rows(table: &Table, rate: f64, seed: u64) -> Sample {
     for (_, block) in table.iter_blocks() {
         for i in 0..block.len() {
             if rng.gen::<f64>() < rate {
-                builder
-                    .push_row(&block.row(i))
-                    .expect("row sampled from same-schema table");
+                builder.gather_row(block, i);
             }
         }
     }

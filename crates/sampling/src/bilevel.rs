@@ -45,7 +45,7 @@ pub fn bilevel_sample(table: &Table, block_rate: f64, row_rate: f64, seed: u64) 
         let mut any = false;
         for i in 0..block.len() {
             if rng.gen::<f64>() < row_rate {
-                builder.push_row(&block.row(i)).expect("same schema");
+                builder.gather_row(block, i);
                 any = true;
             }
         }

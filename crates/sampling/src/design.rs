@@ -250,6 +250,10 @@ impl Sample {
         let mut global = 0usize;
         for (_, block) in self.table.iter_blocks() {
             for i in 0..block.len() {
+                // Row materialization is fine here: this appends a computed
+                // weight column (arity differs from the source block, so the
+                // typed gather does not apply) and runs once per synopsis
+                // build, not per query.
                 let mut row = block.row(i);
                 row.push(Value::Float64(self.weights.weight(global)));
                 builder.push_row(&row)?;

@@ -56,10 +56,10 @@ pub fn distinct_sample(
             let count = seen.entry(h).or_insert(0);
             if *count < cap {
                 *count += 1;
-                builder.push_row(&block.row(ri)).expect("same schema");
+                builder.gather_row(block, ri);
                 weights.push(1.0);
             } else if rng.gen::<f64>() < rate {
-                builder.push_row(&block.row(ri)).expect("same schema");
+                builder.gather_row(block, ri);
                 weights.push(1.0 / rate);
             }
         }

@@ -86,9 +86,9 @@ pub fn build_outlier_index(
         for i in 0..block.len() {
             let mag = col.f64_at(i).unwrap_or(0.0).abs();
             if mag >= threshold {
-                outliers.push_row(&block.row(i))?;
+                outliers.gather_row(block, i);
             } else {
-                remainder.push_row(&block.row(i))?;
+                remainder.gather_row(block, i);
             }
         }
     }

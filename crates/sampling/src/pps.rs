@@ -71,7 +71,8 @@ pub fn pps_sample(
                 .partition_point(|&c| c <= u)
                 .min(cumulative.len() - 1);
             let mass = cumulative[row] - if row == 0 { 0.0 } else { cumulative[row - 1] };
-            builder.push_row(&table.row(row))?;
+            let (bi, ri) = table.locate_row(row);
+            builder.gather_row(table.block(bi), ri);
             draw_probs.push(mass / total);
         }
     }

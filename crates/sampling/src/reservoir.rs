@@ -40,9 +40,7 @@ pub fn reservoir_rows(table: &Table, n: usize, seed: u64) -> Sample {
         table.block_capacity(),
     );
     for &(bi, ri) in &reservoir {
-        builder
-            .push_row(&table.block(bi).row(ri))
-            .expect("same schema");
+        builder.gather_row(table.block(bi), ri);
     }
     let actual = reservoir.len();
     Sample {

@@ -197,9 +197,7 @@ pub fn stratified_sample_with_threads(
         acc.coords.shuffle(&mut rng);
         let row_start = cursor;
         for &(bi, ri) in acc.coords.iter().take(take) {
-            builder
-                .push_row(&table.block(bi).row(ri))
-                .expect("same schema");
+            builder.gather_row(table.block(bi), ri);
             cursor += 1;
         }
         let w = if take == 0 {

@@ -44,7 +44,7 @@ pub fn universe_sample(
         for ri in 0..block.len() {
             let h = mix64(stable_hash64(&keys.get(ri)) ^ salt);
             if hash_to_unit(h) < rate {
-                builder.push_row(&block.row(ri)).expect("same schema");
+                builder.gather_row(block, ri);
             }
         }
     }

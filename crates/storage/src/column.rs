@@ -277,17 +277,120 @@ impl Column {
         }
     }
 
-    /// Gathers the slots at `indices` into a new column.
-    pub fn take(&self, indices: &[usize]) -> Column {
-        let mut out = Column::with_capacity(self.data_type(), indices.len());
-        for &i in indices {
-            if self.is_null(i) {
-                out.push_null();
-            } else {
-                out.push(&self.get(i)).expect("same type by construction");
-            }
+    /// Raw `i64` slice view (slot content is unspecified where invalid);
+    /// `None` for other column types. Scan kernels read these directly
+    /// instead of materializing per-row [`Value`]s.
+    pub fn i64_values(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64 { data, .. } => Some(data),
+            _ => None,
         }
-        out
+    }
+
+    /// Raw `f64` slice view; `None` for other column types.
+    pub fn f64_values(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64 { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw `bool` slice view; `None` for other column types.
+    pub fn bool_values(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw string slice view; `None` for other column types.
+    pub fn str_values(&self) -> Option<&[Arc<str>]> {
+        match self {
+            Column::Str { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// The validity mask as a slice (`true` = valid); `None` means every
+    /// slot is valid.
+    pub fn validity_mask(&self) -> Option<&[bool]> {
+        self.validity().as_deref()
+    }
+
+    /// Appends slot `i` of `src` (same type) onto `self` without
+    /// materializing a [`Value`] — the typed gather primitive row
+    /// assembly (joins, samplers) is built on.
+    ///
+    /// # Panics
+    /// Panics on type mismatch; gathers happen strictly between columns
+    /// of one schema.
+    pub fn push_slot(&mut self, src: &Column, i: usize) {
+        if src.is_null(i) {
+            self.push_null();
+            return;
+        }
+        match (&mut *self, src) {
+            (Column::Int64 { data, validity }, Column::Int64 { data: s, .. }) => {
+                data.push(s[i]);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (Column::Float64 { data, validity }, Column::Float64 { data: s, .. }) => {
+                data.push(s[i]);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            // The one implicit widening `push` allows: INT64 into FLOAT64.
+            (Column::Float64 { data, validity }, Column::Int64 { data: s, .. }) => {
+                data.push(s[i] as f64);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (Column::Str { data, validity }, Column::Str { data: s, .. }) => {
+                data.push(Arc::clone(&s[i]));
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (Column::Bool { data, validity }, Column::Bool { data: s, .. }) => {
+                data.push(s[i]);
+                if let Some(mask) = validity {
+                    mask.push(true);
+                }
+            }
+            (dst, src) => panic!(
+                "push_slot type mismatch: {} slot into {} column",
+                src.data_type(),
+                dst.data_type()
+            ),
+        }
+    }
+
+    /// Gathers the slots at `indices` into a new column (typed copies; no
+    /// per-slot [`Value`] materialization).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let validity = take_mask(self.validity(), indices);
+        match self {
+            Column::Int64 { data, .. } => Column::Int64 {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity,
+            },
+            Column::Float64 { data, .. } => Column::Float64 {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity,
+            },
+            Column::Str { data, .. } => Column::Str {
+                data: indices.iter().map(|&i| Arc::clone(&data[i])).collect(),
+                validity,
+            },
+            Column::Bool { data, .. } => Column::Bool {
+                data: indices.iter().map(|&i| data[i]).collect(),
+                validity,
+            },
+        }
     }
 
     /// Appends all slots of `other` (same type) onto `self`.
@@ -309,6 +412,15 @@ impl Column {
             }
         }
     }
+}
+
+/// Gathers a validity mask through `indices`, normalizing an all-valid
+/// result back to `None` (so gathered columns compare equal to columns
+/// that never saw a NULL).
+fn take_mask(validity: &Option<Vec<bool>>, indices: &[usize]) -> Option<Vec<bool>> {
+    let mask = validity.as_ref()?;
+    let gathered: Vec<bool> = indices.iter().map(|&i| mask[i]).collect();
+    gathered.iter().any(|&v| !v).then_some(gathered)
 }
 
 #[cfg(test)]
@@ -401,6 +513,61 @@ mod tests {
     fn append_rejects_mismatch() {
         let mut a = Column::from_i64(vec![1]);
         a.append(&Column::from_bool(vec![true]));
+    }
+
+    #[test]
+    fn take_normalizes_all_valid_mask() {
+        let mut c = Column::from_i64(vec![1, 2, 3]);
+        c.push_null();
+        // Gather only valid slots: the result must carry no mask at all,
+        // exactly as the push-based gather produced.
+        let t = c.take(&[0, 2]);
+        assert_eq!(t, Column::from_i64(vec![1, 3]));
+        let t = c.take(&[3, 0]);
+        assert!(t.is_null(0));
+        assert_eq!(t.get(1), Value::Int64(1));
+    }
+
+    #[test]
+    fn slice_views() {
+        let c = Column::from_i64(vec![4, 5]);
+        assert_eq!(c.i64_values(), Some(&[4i64, 5][..]));
+        assert_eq!(c.f64_values(), None);
+        assert_eq!(c.validity_mask(), None);
+        let mut c = Column::from_f64(vec![1.5]);
+        c.push_null();
+        assert_eq!(c.f64_values(), Some(&[1.5, 0.0][..]));
+        assert_eq!(c.validity_mask(), Some(&[true, false][..]));
+        assert_eq!(
+            Column::from_bool(vec![true]).bool_values(),
+            Some(&[true][..])
+        );
+        assert_eq!(
+            Column::from_str_values(["a"]).str_values().map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn push_slot_gathers_typed() {
+        let mut src = Column::from_f64(vec![1.0, 2.0]);
+        src.push_null();
+        let mut dst = Column::new(DataType::Float64);
+        dst.push_slot(&src, 2);
+        dst.push_slot(&src, 0);
+        assert!(dst.is_null(0));
+        assert_eq!(dst.get(1), Value::Float64(1.0));
+        // INT64 widens into FLOAT64, as with push().
+        let ints = Column::from_i64(vec![7]);
+        dst.push_slot(&ints, 0);
+        assert_eq!(dst.get(2), Value::Float64(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "push_slot type mismatch")]
+    fn push_slot_rejects_mismatch() {
+        let mut dst = Column::new(DataType::Int64);
+        dst.push_slot(&Column::from_bool(vec![true]), 0);
     }
 
     #[test]

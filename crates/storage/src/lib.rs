@@ -28,6 +28,7 @@ pub mod error;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod zone;
 
 pub use block::Block;
 pub use catalog::Catalog;
@@ -36,3 +37,4 @@ pub use error::StorageError;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
+pub use zone::{ColumnZone, ZoneMap};

@@ -1,13 +1,14 @@
 //! Tables: sequences of fixed-capacity blocks, plus the builder that seals
 //! blocks as they fill.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::block::Block;
 use crate::column::Column;
 use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
+use crate::zone::ZoneMap;
 
 /// Default number of rows per block — the same order of magnitude as rows
 /// per page in row stores and per row-group stripe in column stores, so
@@ -22,6 +23,10 @@ pub struct Table {
     blocks: Vec<Arc<Block>>,
     /// Starting global row id of each block (parallel to `blocks`).
     offsets: Vec<usize>,
+    /// Lazily built per-block zone maps (parallel to `blocks`), shared
+    /// across table clones. Lazy so `from_blocks` stays zero-copy — a
+    /// block sample must not pay a full pass over blocks it never reads.
+    zones: Arc<Vec<OnceLock<ZoneMap>>>,
     block_capacity: usize,
     row_count: usize,
 }
@@ -50,14 +55,22 @@ impl Table {
             offsets.push(row_count);
             row_count += b.len();
         }
+        let zones = Arc::new((0..blocks.len()).map(|_| OnceLock::new()).collect());
         Self {
             name: name.into(),
             schema,
             blocks,
             offsets,
+            zones,
             block_capacity,
             row_count,
         }
+    }
+
+    /// The zone map for block `index`, built on first access and cached
+    /// (shared across clones of this table).
+    pub fn zone(&self, index: usize) -> &ZoneMap {
+        self.zones[index].get_or_init(|| self.blocks[index].zone_map())
     }
 
     /// The table's name.
@@ -216,6 +229,25 @@ impl TableBuilder {
         Ok(())
     }
 
+    /// Appends row `i` of `src` (same schema shape as the builder's) via
+    /// typed per-column copies — no `Vec<Value>` materialization. The
+    /// samplers' hot copy loops use this instead of
+    /// `push_row(&block.row(i))`.
+    ///
+    /// # Panics
+    /// Panics on arity or column-type mismatch (see [`Block::gather_row`]).
+    pub fn gather_row(&mut self, src: &Block, i: usize) {
+        self.current.gather_row(src, i);
+        self.row_count += 1;
+        if self.current.len() == self.block_capacity {
+            let sealed = std::mem::replace(
+                &mut self.current,
+                Block::with_capacity(Arc::clone(&self.schema), self.block_capacity),
+            );
+            self.blocks.push(Arc::new(sealed));
+        }
+    }
+
     /// Appends many rows.
     pub fn push_rows<'a>(
         &mut self,
@@ -321,6 +353,18 @@ mod tests {
     #[test]
     fn approx_bytes_grows_with_rows() {
         assert!(build(1000, 128).approx_bytes() > build(10, 128).approx_bytes());
+    }
+
+    #[test]
+    fn zone_maps_lazy_and_shared() {
+        let t = build(10, 4);
+        let z = t.zone(1); // rows 4..8, v = id*2
+        assert_eq!(z.rows, 4);
+        assert_eq!(z.column(0).bounds, Some((4.0, 7.0)));
+        assert_eq!(z.column(1).bounds, Some((8.0, 14.0)));
+        // Clones share the cache.
+        let t2 = t.clone();
+        assert!(std::ptr::eq(t2.zone(1), t.zone(1)));
     }
 
     #[test]

@@ -58,3 +58,8 @@ done
 # overhead smoke test, the cheapest signal when instrumentation regresses.
 cargo test -q -p aqp-obs
 cargo test -q
+
+# Bench smoke: tiny-row kernel-vs-scalar equivalence at threads=1 plus
+# shape validation of every BENCH_*.json report — seconds, not the
+# minutes a full Criterion run costs.
+cargo run -q --release -p aqp-bench --bin bench_smoke

@@ -1,0 +1,238 @@
+//! Equivalence tests for the typed kernel layer (`aqp_engine::kernel`):
+//! the fused zone-map → selection-mask → typed-accumulator path must be a
+//! pure optimization. For every plan it covers, its rows are **bit-for-bit**
+//! those of the scalar `eval` path — with NULLs in both measures and group
+//! keys, with zone-map pruning on or off, at every thread count.
+//!
+//! Two structural invariants ride along:
+//!
+//! * `blocks_scanned + blocks_pruned` is constant across pruning on/off
+//!   (pruning relabels blocks, it never invents or loses them), and
+//!   `rows_scanned` never grows when pruning turns on;
+//! * per-config stats are identical across thread counts (morsel
+//!   boundaries are data-dependent, never scheduling-dependent).
+
+use proptest::prelude::*;
+
+use aqp_engine::{execute_with, AggExpr, ExecOptions, LogicalPlan, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Table `t(k, v, s)`: nullable INT64 group key (NULL every 11th row),
+/// nullable integer-valued FLOAT64 measure (NULL every 7th row), and a
+/// clustered FLOAT64 selector so zone maps actually prune some blocks.
+fn catalog_from(xs: &[i64], block_cap: usize, keys: i64) -> Catalog {
+    let schema = Schema::new(vec![
+        Field::nullable("k", DataType::Int64),
+        Field::nullable("v", DataType::Float64),
+        Field::new("s", DataType::Float64),
+    ]);
+    let mut t = TableBuilder::with_block_capacity("t", schema, block_cap);
+    for (i, &x) in xs.iter().enumerate() {
+        let k = if i % 11 == 3 {
+            Value::Null
+        } else {
+            Value::Int64(x.rem_euclid(keys))
+        };
+        let v = if i % 7 == 5 {
+            Value::Null
+        } else {
+            Value::Float64(x as f64)
+        };
+        // Clustered: long runs share a selector value, so whole blocks
+        // fall outside the filter range and the zone map can prove it.
+        let s = (i / 256) as f64;
+        t.push_row(&[k, v, Value::Float64(s)]).unwrap();
+    }
+    let c = Catalog::new();
+    c.register(t.finish()).unwrap();
+    c
+}
+
+/// Every (kernels, pruning, threads) configuration, baseline first.
+fn configs() -> Vec<ExecOptions> {
+    let mut out = Vec::new();
+    for kernels in [false, true] {
+        for pruning in [false, true] {
+            for threads in THREADS {
+                out.push(
+                    ExecOptions::with_threads(threads)
+                        .with_kernels(kernels)
+                        .with_zone_pruning(pruning),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Runs `plan` under every configuration and asserts the full matrix of
+/// equivalences against the scalar serial baseline.
+fn assert_equivalent(plan: &LogicalPlan, c: &Catalog) -> Result<(), TestCaseError> {
+    let baseline = execute_with(
+        plan,
+        c,
+        ExecOptions::serial()
+            .with_kernels(false)
+            .with_zone_pruning(false),
+    )
+    .unwrap();
+    let total_blocks = {
+        let s = baseline.stats();
+        s.blocks_scanned + s.blocks_pruned
+    };
+    for opts in configs() {
+        let run = execute_with(plan, c, opts).unwrap();
+        let tag = format!(
+            "kernels={} pruning={} threads={}",
+            opts.kernels, opts.zone_pruning, opts.threads
+        );
+        // Bit-for-bit rows: Value equality is exact (Float64 compares by
+        // bits through the integer-valued domain used here).
+        prop_assert_eq!(baseline.rows(), run.rows(), "rows diverge at {}", tag);
+        prop_assert_eq!(
+            baseline.schema(),
+            run.schema(),
+            "schema diverges at {}",
+            tag
+        );
+        let s = run.stats();
+        prop_assert_eq!(
+            s.blocks_scanned + s.blocks_pruned,
+            total_blocks,
+            "block accounting leaks at {}",
+            tag
+        );
+        prop_assert!(
+            s.rows_scanned <= baseline.stats().rows_scanned,
+            "pruning grew rows_scanned at {}",
+            tag
+        );
+        if !opts.zone_pruning {
+            prop_assert_eq!(s.blocks_pruned, 0, "pruned without pruning at {}", tag);
+        }
+        // Same config, different thread counts: stats must be identical.
+        let serial_same = execute_with(
+            plan,
+            c,
+            ExecOptions::serial()
+                .with_kernels(opts.kernels)
+                .with_zone_pruning(opts.zone_pruning),
+        )
+        .unwrap();
+        prop_assert_eq!(serial_same.stats(), run.stats(), "stats diverge at {}", tag);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Filtered grouped aggregation over a NULL-bearing key and measure:
+    /// the kernel's null-group slot, validity-aware accumulators, and
+    /// pruning-independent morsel tree all reproduce the scalar fold.
+    #[test]
+    fn grouped_kernel_matches_scalar_bitwise(
+        xs in prop::collection::vec(-1_000_000i64..1_000_000, 4200..5200),
+        cap in 64usize..256,
+        hi in 3.0f64..14.0,
+    ) {
+        let c = catalog_from(&xs, cap, 23);
+        let plan = Query::scan("t")
+            .filter(col("s").lt(lit(hi)))
+            .aggregate(
+                vec![(col("k"), "k".to_string())],
+                vec![
+                    AggExpr::count_star("n"),
+                    AggExpr::sum(col("v"), "sv"),
+                    AggExpr::avg(col("v"), "av"),
+                    AggExpr::min(col("v"), "lo"),
+                    AggExpr::max(col("v"), "hi"),
+                ],
+            )
+            .build();
+        assert_equivalent(&plan, &c)?;
+    }
+
+    /// Global aggregates over arithmetic on the measure (wrapping INT64,
+    /// FLOAT64 division): the kernel's typed expression evaluation must
+    /// match `eval`'s value semantics exactly.
+    #[test]
+    fn global_kernel_matches_scalar_bitwise(
+        xs in prop::collection::vec(-1_000_000i64..1_000_000, 4200..5200),
+        cap in 64usize..256,
+        lo in 1.0f64..10.0,
+    ) {
+        let c = catalog_from(&xs, cap, 13);
+        let plan = Query::scan("t")
+            .filter(col("s").gt_eq(lit(lo)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::count_star("n"),
+                    AggExpr::sum(col("v").mul(lit(2.0)), "s2"),
+                    AggExpr::min(col("k").add(lit(1i64)), "lo"),
+                    AggExpr::max(col("v"), "hi"),
+                ],
+            )
+            .build();
+        assert_equivalent(&plan, &c)?;
+    }
+
+    /// Compound predicates (AND/OR chains over both columns) compose into
+    /// one fused selection mask; an uncoverable shape in the same plan
+    /// family must fall back without changing results.
+    #[test]
+    fn predicate_composition_matches_scalar(
+        xs in prop::collection::vec(-1_000_000i64..1_000_000, 4200..5200),
+        cap in 64usize..256,
+        mid in 4.0f64..12.0,
+    ) {
+        let c = catalog_from(&xs, cap, 19);
+        let covered = Query::scan("t")
+            .filter(col("s").lt(lit(mid)).or(col("s").gt_eq(lit(mid + 3.0))))
+            .filter(col("v").gt(lit(-900_000.0)))
+            .aggregate(
+                vec![(col("k"), "k".to_string())],
+                vec![AggExpr::sum(col("v"), "sv"), AggExpr::count_star("n")],
+            )
+            .build();
+        assert_equivalent(&covered, &c)?;
+        // NOT does not commute with three-valued masks: the kernel must
+        // decline and the scalar fallback must serve the same answer.
+        let fallback = Query::scan("t")
+            .filter(col("s").lt(lit(mid)).not())
+            .aggregate(
+                vec![(col("k"), "k".to_string())],
+                vec![AggExpr::sum(col("v"), "sv"), AggExpr::count_star("n")],
+            )
+            .build();
+        assert_equivalent(&fallback, &c)?;
+    }
+}
+
+/// Zone maps must actually fire on the clustered selector — otherwise the
+/// pruning half of the proptests above is vacuously true.
+#[test]
+fn clustered_selector_prunes_blocks() {
+    let xs: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 100_000 - 50_000).collect();
+    let c = catalog_from(&xs, 128, 23);
+    let plan = Query::scan("t")
+        .filter(col("s").lt(lit(10.0)))
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "sv")])
+        .build();
+    let pruned = execute_with(&plan, &c, ExecOptions::serial()).unwrap();
+    assert!(
+        pruned.stats().blocks_pruned > 0,
+        "expected zone maps to prune blocks on a clustered selector"
+    );
+    let unpruned = execute_with(&plan, &c, ExecOptions::serial().with_zone_pruning(false)).unwrap();
+    assert_eq!(pruned.rows(), unpruned.rows());
+    assert_eq!(unpruned.stats().blocks_pruned, 0);
+    assert_eq!(
+        pruned.stats().blocks_scanned + pruned.stats().blocks_pruned,
+        unpruned.stats().blocks_scanned
+    );
+}
