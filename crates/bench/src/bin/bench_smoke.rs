@@ -42,6 +42,15 @@ const REQUIRED_FIELDS: &[(&str, &[&str])] = &[
         "BENCH_obs.json",
         &["bench", "off_median_us", "on_median_us", "spans_per_query"],
     ),
+    (
+        "BENCH_merge.json",
+        &[
+            "bench",
+            "merge_ns_per_partial",
+            "synopsis_bytes",
+            "maintain_vs_rebuild_speedup",
+        ],
+    ),
 ];
 
 fn main() {

@@ -22,6 +22,9 @@
 //! * [`rewrite`] — VerdictDB-style middleware: the same queries answered
 //!   by rewriting over a weighted sample and running the *unmodified*
 //!   exact engine ([`rewrite::answer_via_rewrite`]).
+//! * [`shard`] — **shard-then-merge execution** on the `Partial`
+//!   contract: per-shard partials serialized, merged in shard order
+//!   (exact bit-for-bit, approximate with design-correct variance).
 //! * [`technique`] — the uniform [`Technique`] trait all four families
 //!   implement: a-priori eligibility with machine-readable decline
 //!   reasons, plus execution that may decline at runtime.
@@ -78,6 +81,7 @@ pub mod ola;
 pub mod online;
 pub mod rewrite;
 pub mod session;
+pub mod shard;
 pub mod spec;
 pub mod taxonomy;
 pub mod technique;
@@ -93,6 +97,7 @@ pub use ola::{OlaTechnique, OnlineAggregator, RippleJoin};
 pub use online::{OnlineAqp, OnlineConfig};
 pub use rewrite::RewriteTechnique;
 pub use session::{AqpSession, SessionConfig};
+pub use shard::{bernoulli_sample_sharded, exact_aggregate_sharded, srs_sample_sharded};
 pub use spec::ErrorSpec;
 pub use technique::{
     exact_answer, exact_answer_with, Attempt, DeclineReason, Eligibility, Guarantee, Technique,

@@ -196,6 +196,16 @@ impl<'a> AqpSession<'a> {
         self.catalog
     }
 
+    /// Folds an append-only delta into every synopsis stored for `table`
+    /// instead of rebuilding them (the cheap answer to E8-style drift —
+    /// see [`OfflineStore::maintain_all`]). Returns the number of
+    /// synopses maintained; afterwards the offline path is fresh again
+    /// ([`OfflineStore::staleness`] = 0) without any base-table rescan of
+    /// pre-existing rows.
+    pub fn maintain_synopses(&self, table: &str, seed: u64) -> Result<usize, crate::AqpError> {
+        self.offline.maintain_all(self.catalog, table, seed)
+    }
+
     /// The analyzer's view of this session: the catalog, the offline
     /// store's synopsis inventory (metadata only), and the routing
     /// policy's thresholds.

@@ -3,8 +3,11 @@
 use std::collections::HashSet;
 
 use aqp_expr::Expr;
+use aqp_mergeable::{tag, wire, CodecError, MergeError, Partial};
 use aqp_stats::Moments;
+use aqp_storage::codec::{decode_value, encode_value};
 use aqp_storage::{DataType, Schema, Value};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::error::EngineError;
 
@@ -457,8 +460,40 @@ impl AggState {
             (AggState::CountDistinct(set), AggState::CountDistinct(other_set)) => {
                 set.extend(other_set);
             }
-            (AggState::VarSamp(m), AggState::VarSamp(other_m)) => *m = m.merge(&other_m),
+            (AggState::VarSamp(m), AggState::VarSamp(other_m)) => {
+                *m = Moments::merge(m, &other_m);
+            }
             (a, b) => panic!("cannot merge mismatched aggregate states {a:?} / {b:?}"),
+        }
+    }
+
+    /// Fallible variant of [`AggState::merge`] for the [`Partial`]
+    /// contract: a function mismatch is a typed
+    /// [`MergeError::Incompatible`] instead of a panic, and `self` is left
+    /// unchanged on error. The panicking by-value `merge` remains the hot
+    /// path inside the operators, where the planner guarantees alignment.
+    pub fn try_merge(&mut self, other: &AggState) -> Result<(), MergeError> {
+        if std::mem::discriminant(self) != std::mem::discriminant(other) {
+            return Err(MergeError::Incompatible {
+                kind: "agg-state",
+                expected: self.state_name().to_string(),
+                found: other.state_name().to_string(),
+            });
+        }
+        self.merge(other.clone());
+        Ok(())
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self {
+            AggState::CountStar(_) => "COUNT(*)",
+            AggState::Count(_) => "COUNT",
+            AggState::Sum { .. } => "SUM",
+            AggState::Avg { .. } => "AVG",
+            AggState::Min(_) => "MIN",
+            AggState::Max(_) => "MAX",
+            AggState::CountDistinct(_) => "COUNT(DISTINCT)",
+            AggState::VarSamp(_) => "VAR_SAMP",
         }
     }
 
@@ -490,6 +525,131 @@ impl AggState {
                     Value::Float64(v)
                 }
             }
+        }
+    }
+}
+
+const STATE_COUNT_STAR: u8 = 0;
+const STATE_COUNT: u8 = 1;
+const STATE_SUM: u8 = 2;
+const STATE_AVG: u8 = 3;
+const STATE_MIN: u8 = 4;
+const STATE_MAX: u8 = 5;
+const STATE_COUNT_DISTINCT: u8 = 6;
+const STATE_VAR_SAMP: u8 = 7;
+
+/// Decoder cap: a distinct set larger than this is corrupt, not data.
+const MAX_DISTINCT: usize = 1 << 28;
+
+fn encode_opt_value(buf: &mut BytesMut, v: &Option<Value>) {
+    match v {
+        None => buf.put_u8(0),
+        Some(v) => {
+            buf.put_u8(1);
+            encode_value(buf, v);
+        }
+    }
+}
+
+fn decode_opt_value(buf: &mut &[u8]) -> Result<Option<Value>, CodecError> {
+    match wire::read_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_value(buf)?)),
+        _ => Err(CodecError::BadDimensions),
+    }
+}
+
+/// Aggregate partials ship between shards as a variant byte plus the
+/// variant's accumulator fields; MIN/MAX carry their candidate through the
+/// scalar value codec and VAR_SAMP embeds the [`Moments`] partial's own
+/// length-prefixed wire form.
+impl Partial for AggState {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.try_merge(other)
+    }
+
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        wire::write_header(&mut buf, tag::AGG_STATE);
+        match self {
+            AggState::CountStar(n) => {
+                buf.put_u8(STATE_COUNT_STAR);
+                buf.put_u64(*n);
+            }
+            AggState::Count(n) => {
+                buf.put_u8(STATE_COUNT);
+                buf.put_u64(*n);
+            }
+            AggState::Sum { sum, saw } => {
+                buf.put_u8(STATE_SUM);
+                wire::write_f64(&mut buf, *sum);
+                buf.put_u8(u8::from(*saw));
+            }
+            AggState::Avg { sum, count } => {
+                buf.put_u8(STATE_AVG);
+                wire::write_f64(&mut buf, *sum);
+                buf.put_u64(*count);
+            }
+            AggState::Min(best) => {
+                buf.put_u8(STATE_MIN);
+                encode_opt_value(&mut buf, best);
+            }
+            AggState::Max(best) => {
+                buf.put_u8(STATE_MAX);
+                encode_opt_value(&mut buf, best);
+            }
+            AggState::CountDistinct(set) => {
+                buf.put_u8(STATE_COUNT_DISTINCT);
+                buf.put_u32(set.len() as u32);
+                for atom in set {
+                    encode_value(&mut buf, &atom.to_value());
+                }
+            }
+            AggState::VarSamp(m) => {
+                buf.put_u8(STATE_VAR_SAMP);
+                let inner = Partial::to_bytes(m);
+                buf.put_u32(inner.len() as u32);
+                buf.put_slice(&inner);
+            }
+        }
+        buf.freeze()
+    }
+
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let buf = &mut buf;
+        wire::read_header(buf, tag::AGG_STATE)?;
+        match wire::read_u8(buf)? {
+            STATE_COUNT_STAR => Ok(AggState::CountStar(wire::read_u64(buf)?)),
+            STATE_COUNT => Ok(AggState::Count(wire::read_u64(buf)?)),
+            STATE_SUM => Ok(AggState::Sum {
+                sum: wire::read_f64(buf)?,
+                saw: wire::read_u8(buf)? != 0,
+            }),
+            STATE_AVG => Ok(AggState::Avg {
+                sum: wire::read_f64(buf)?,
+                count: wire::read_u64(buf)?,
+            }),
+            STATE_MIN => Ok(AggState::Min(decode_opt_value(buf)?)),
+            STATE_MAX => Ok(AggState::Max(decode_opt_value(buf)?)),
+            STATE_COUNT_DISTINCT => {
+                let n = wire::read_u32(buf)? as usize;
+                if n > MAX_DISTINCT {
+                    return Err(CodecError::BadDimensions);
+                }
+                let mut set = HashSet::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    set.insert(KeyAtom::from_value(&decode_value(buf)?));
+                }
+                Ok(AggState::CountDistinct(set))
+            }
+            STATE_VAR_SAMP => {
+                let len = wire::read_u32(buf)? as usize;
+                wire::need(buf, len)?;
+                let m = Moments::from_bytes(&buf[..len])?;
+                *buf = &buf[len..];
+                Ok(AggState::VarSamp(m))
+            }
+            _ => Err(CodecError::BadDimensions),
         }
     }
 }
@@ -787,6 +947,78 @@ mod tests {
     fn merge_mismatched_states_panics() {
         let mut a = AggState::new(AggFunc::Sum);
         a.merge(AggState::new(AggFunc::Count));
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatch_without_panicking() {
+        let mut a = AggState::new(AggFunc::Sum);
+        a.update_f64(2.5);
+        let err = a.try_merge(&AggState::new(AggFunc::Count)).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::Incompatible {
+                kind: "agg-state",
+                ..
+            }
+        ));
+        assert_eq!(a.finish(), Value::Float64(2.5), "self unchanged on error");
+
+        let mut b = AggState::new(AggFunc::Sum);
+        b.update_f64(1.5);
+        a.try_merge(&b).unwrap();
+        assert_eq!(a.finish(), Value::Float64(4.0));
+    }
+
+    #[test]
+    fn agg_state_partial_roundtrips_every_variant() {
+        let values = [
+            Value::Float64(3.0),
+            Value::Null,
+            Value::Int64(-2),
+            Value::str("zeta"),
+            Value::Bool(true),
+            Value::Float64(7.5),
+        ];
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::CountDistinct,
+            AggFunc::VarSamp,
+        ] {
+            for feed in [0, values.len()] {
+                let mut state = AggState::new(func);
+                for v in &values[..feed] {
+                    state.update(v);
+                }
+                let bytes = Partial::to_bytes(&state);
+                let back = AggState::from_bytes(&bytes).unwrap();
+                assert_eq!(
+                    format!("{:?}", back.finish()),
+                    format!("{:?}", state.finish()),
+                    "{func} fed {feed}"
+                );
+                // Decoded partials keep merging.
+                let mut merged = back;
+                Partial::merge(&mut merged, &state).unwrap();
+                // And corruption is an error, never a panic.
+                for cut in 0..bytes.len() {
+                    assert!(
+                        AggState::from_bytes(&bytes[..cut]).is_err(),
+                        "{func} cut {cut}"
+                    );
+                }
+            }
+        }
+        let mut wrong = Partial::to_bytes(&AggState::new(AggFunc::Sum)).to_vec();
+        wrong[0] ^= 0xFF;
+        assert!(matches!(
+            AggState::from_bytes(&wrong),
+            Err(CodecError::BadMagic(_))
+        ));
     }
 
     #[test]

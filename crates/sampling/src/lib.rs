@@ -29,6 +29,7 @@ pub mod bernoulli;
 pub mod bilevel;
 pub mod design;
 pub mod distinct;
+pub mod merge;
 pub mod outlier;
 pub mod pps;
 pub mod reservoir;

@@ -6,6 +6,7 @@
 //! samples. The AMS sketch estimates it in O(width·depth) space with a
 //! medians-of-means guarantee.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_bytes, hash_with_seed, sign_of};
@@ -91,18 +92,49 @@ impl AmsSketch {
     }
 
     /// Merges an identically configured sketch (stream concatenation).
-    ///
-    /// # Panics
-    /// Panics on configuration mismatch.
-    pub fn merge(&mut self, other: &AmsSketch) {
-        assert_eq!(
-            (self.width, self.depth, self.seed),
-            (other.width, other.depth, other.seed),
-            "can only merge identically configured AMS sketches"
-        );
+    /// Returns a typed error on configuration mismatch.
+    pub fn merge(&mut self, other: &AmsSketch) -> Result<(), MergeError> {
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed) {
+            return Err(MergeError::Incompatible {
+                kind: "ams",
+                expected: format!("{}x{} seed {}", self.width, self.depth, self.seed),
+                found: format!("{}x{} seed {}", other.width, other.depth, other.seed),
+            });
+        }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
         }
+        Ok(())
+    }
+
+    /// Codec accessor: the hash seed.
+    pub fn seed_for_codec(&self) -> u64 {
+        self.seed
+    }
+
+    /// Codec accessor: the raw counter array (row-major depth × width).
+    pub fn counters_for_codec(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Codec constructor: reassembles a sketch from its raw parts.
+    /// Returns `None` when the counter array does not match the declared
+    /// dimensions.
+    pub fn from_codec_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        counters: Vec<i64>,
+    ) -> Option<Self> {
+        if width == 0 || depth == 0 || counters.len() != width * depth {
+            return None;
+        }
+        Some(Self {
+            width,
+            depth,
+            seed,
+            counters,
+        })
     }
 }
 
@@ -193,14 +225,19 @@ mod tests {
             }
             whole.insert(&item, 1);
         }
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a, whole);
     }
 
     #[test]
-    #[should_panic(expected = "identically configured")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = AmsSketch::new(32, 5, 1);
-        a.merge(&AmsSketch::new(32, 5, 2));
+        let snapshot = a.clone();
+        let err = a.merge(&AmsSketch::new(32, 5, 2)).unwrap_err();
+        assert!(
+            matches!(err, MergeError::Incompatible { kind: "ams", .. }),
+            "{err}"
+        );
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 }

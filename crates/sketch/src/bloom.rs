@@ -1,5 +1,6 @@
 //! Bloom filter: approximate set membership with no false negatives.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_bytes, hash_with_seed};
@@ -93,20 +94,60 @@ impl BloomFilter {
         })
     }
 
-    /// Merges a filter with identical parameters (set union).
-    ///
-    /// # Panics
-    /// Panics on parameter mismatch.
-    pub fn merge(&mut self, other: &BloomFilter) {
-        assert_eq!(
-            (self.num_bits, self.num_hashes, self.seed),
-            (other.num_bits, other.num_hashes, other.seed),
-            "can only merge identically configured Bloom filters"
-        );
+    /// Merges a filter with identical parameters (bit-wise set union).
+    /// Returns a typed error on parameter mismatch.
+    pub fn merge(&mut self, other: &BloomFilter) -> Result<(), MergeError> {
+        if (self.num_bits, self.num_hashes, self.seed)
+            != (other.num_bits, other.num_hashes, other.seed)
+        {
+            return Err(MergeError::Incompatible {
+                kind: "bloom",
+                expected: format!(
+                    "{} bits, {} hashes, seed {}",
+                    self.num_bits, self.num_hashes, self.seed
+                ),
+                found: format!(
+                    "{} bits, {} hashes, seed {}",
+                    other.num_bits, other.num_hashes, other.seed
+                ),
+            });
+        }
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
         self.inserted += other.inserted;
+        Ok(())
+    }
+
+    /// Codec accessor: the hash seed.
+    pub fn seed_for_codec(&self) -> u64 {
+        self.seed
+    }
+
+    /// Codec accessor: the raw 64-bit words of the bit array.
+    pub fn words_for_codec(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Codec constructor: reassembles a filter from its raw parts.
+    /// Returns `None` when the word array does not match the declared size.
+    pub fn from_codec_parts(
+        num_bits: usize,
+        num_hashes: u32,
+        seed: u64,
+        inserted: u64,
+        bits: Vec<u64>,
+    ) -> Option<Self> {
+        if num_bits == 0 || num_hashes == 0 || bits.len() != num_bits.div_ceil(64) {
+            return None;
+        }
+        Some(Self {
+            bits,
+            num_bits,
+            num_hashes,
+            inserted,
+            seed,
+        })
     }
 }
 
@@ -152,16 +193,21 @@ mod tests {
         let mut b = BloomFilter::new(4096, 4, 5);
         a.insert(b"left");
         b.insert(b"right");
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert!(a.contains(b"left") && a.contains(b"right"));
         assert_eq!(a.inserted(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "identically configured")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = BloomFilter::new(4096, 4, 1);
-        a.merge(&BloomFilter::new(4096, 4, 2));
+        let snapshot = a.clone();
+        let err = a.merge(&BloomFilter::new(4096, 4, 2)).unwrap_err();
+        assert!(
+            matches!(err, MergeError::Incompatible { kind: "bloom", .. }),
+            "{err}"
+        );
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 
     #[test]

@@ -2,50 +2,40 @@
 //!
 //! Sketches earn their keep in distributed aggregation: each shard builds
 //! one, ships it, and a coordinator merges. This module provides a small,
-//! versioned, length-checked binary codec (via `bytes`) for the sketches
-//! that travel most — Count-Min and HyperLogLog — far cheaper on the wire
-//! than a generic serde format.
+//! versioned, length-checked binary codec (via `bytes`) for **every**
+//! sketch in the zoo, far cheaper on the wire than a generic serde format.
+//! Each sketch also implements [`aqp_mergeable::Partial`], so callers that
+//! only need "merge it, ship it" can stay generic over the trait.
+//!
+//! Every buffer starts with a type tag from [`aqp_mergeable::tag`] and the
+//! workspace [`aqp_mergeable::CODEC_VERSION`]; decoders reject wrong tags,
+//! unknown versions, truncated payloads, and implausible dimensions — they
+//! never panic on garbage input.
 
+use aqp_mergeable::{tag, wire, MergeError, Partial};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+pub use aqp_mergeable::CodecError;
+
+use crate::ams::AmsSketch;
+use crate::bloom::BloomFilter;
 use crate::countmin::CountMinSketch;
+use crate::countsketch::CountSketch;
+use crate::histogram::{Bucket, EquiDepthHistogram, EquiWidthHistogram};
 use crate::hll::HyperLogLog;
+use crate::kmv::KmvSketch;
+use crate::quantile::GkQuantiles;
+use crate::wavelet::WaveletSynopsis;
 
-/// Codec errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// The buffer ended before the declared payload.
-    Truncated,
-    /// Unknown magic byte / sketch tag.
-    BadMagic(u8),
-    /// Unsupported codec version.
-    BadVersion(u8),
-    /// A declared dimension was invalid (zero, oversized, inconsistent).
-    BadDimensions,
-}
-
-impl std::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Truncated => write!(f, "buffer truncated"),
-            Self::BadMagic(m) => write!(f, "unknown sketch tag {m:#04x}"),
-            Self::BadVersion(v) => write!(f, "unsupported codec version {v}"),
-            Self::BadDimensions => write!(f, "invalid sketch dimensions"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
-
-const VERSION: u8 = 1;
-const TAG_COUNT_MIN: u8 = 0xC1;
-const TAG_HLL: u8 = 0xB2;
+/// Largest counter grid (width × depth) a decoder will allocate.
+const MAX_CELLS: usize = 1 << 28;
+/// Largest Bloom filter bit count a decoder will allocate.
+const MAX_BLOOM_BITS: usize = 1 << 31;
 
 /// Serializes a Count-Min sketch.
 pub fn encode_count_min(cm: &CountMinSketch) -> Bytes {
     let mut buf = BytesMut::with_capacity(32 + cm.width() * cm.depth() * 8);
-    buf.put_u8(TAG_COUNT_MIN);
-    buf.put_u8(VERSION);
+    wire::write_header(&mut buf, tag::COUNT_MIN);
     buf.put_u32(cm.width() as u32);
     buf.put_u32(cm.depth() as u32);
     buf.put_u64(cm.seed_for_codec());
@@ -58,31 +48,17 @@ pub fn encode_count_min(cm: &CountMinSketch) -> Bytes {
 
 /// Deserializes a Count-Min sketch.
 pub fn decode_count_min(mut buf: &[u8]) -> Result<CountMinSketch, CodecError> {
-    if buf.remaining() < 2 {
-        return Err(CodecError::Truncated);
-    }
-    let tag = buf.get_u8();
-    if tag != TAG_COUNT_MIN {
-        return Err(CodecError::BadMagic(tag));
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    if buf.remaining() < 4 + 4 + 8 + 8 {
-        return Err(CodecError::Truncated);
-    }
-    let width = buf.get_u32() as usize;
-    let depth = buf.get_u32() as usize;
-    let seed = buf.get_u64();
-    let total = buf.get_u64();
-    if width == 0 || depth == 0 || width.saturating_mul(depth) > 1 << 28 {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::COUNT_MIN)?;
+    let width = wire::read_u32(buf)? as usize;
+    let depth = wire::read_u32(buf)? as usize;
+    let seed = wire::read_u64(buf)?;
+    let total = wire::read_u64(buf)?;
+    if width == 0 || depth == 0 || width.saturating_mul(depth) > MAX_CELLS {
         return Err(CodecError::BadDimensions);
     }
     let cells = width * depth;
-    if buf.remaining() < cells * 8 {
-        return Err(CodecError::Truncated);
-    }
+    wire::need(buf, cells * 8)?;
     let mut counters = Vec::with_capacity(cells);
     for _ in 0..cells {
         counters.push(buf.get_u64());
@@ -95,8 +71,7 @@ pub fn decode_count_min(mut buf: &[u8]) -> Result<CountMinSketch, CodecError> {
 pub fn encode_hll(hll: &HyperLogLog) -> Bytes {
     let regs = hll.registers_for_codec();
     let mut buf = BytesMut::with_capacity(4 + regs.len());
-    buf.put_u8(TAG_HLL);
-    buf.put_u8(VERSION);
+    wire::write_header(&mut buf, tag::HLL);
     buf.put_u8(hll.precision_for_codec());
     buf.put_slice(regs);
     buf.freeze()
@@ -104,29 +79,297 @@ pub fn encode_hll(hll: &HyperLogLog) -> Bytes {
 
 /// Deserializes a HyperLogLog sketch.
 pub fn decode_hll(mut buf: &[u8]) -> Result<HyperLogLog, CodecError> {
-    if buf.remaining() < 3 {
-        return Err(CodecError::Truncated);
-    }
-    let tag = buf.get_u8();
-    if tag != TAG_HLL {
-        return Err(CodecError::BadMagic(tag));
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
-    }
-    let precision = buf.get_u8();
+    let buf = &mut buf;
+    wire::read_header(buf, tag::HLL)?;
+    let precision = wire::read_u8(buf)?;
     if !(4..=16).contains(&precision) {
         return Err(CodecError::BadDimensions);
     }
     let m = 1usize << precision;
-    if buf.remaining() < m {
-        return Err(CodecError::Truncated);
-    }
+    wire::need(buf, m)?;
     let mut registers = vec![0u8; m];
     buf.copy_to_slice(&mut registers);
     HyperLogLog::from_codec_parts(precision, registers).ok_or(CodecError::BadDimensions)
 }
+
+/// Serializes a Count-Sketch.
+pub fn encode_count_sketch(cs: &CountSketch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + cs.width() * cs.depth() * 8);
+    wire::write_header(&mut buf, tag::COUNT_SKETCH);
+    buf.put_u32(cs.width() as u32);
+    buf.put_u32(cs.depth() as u32);
+    buf.put_u64(cs.seed_for_codec());
+    buf.put_u64(cs.total());
+    for &c in cs.counters_for_codec() {
+        wire::write_i64(&mut buf, c);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Count-Sketch.
+pub fn decode_count_sketch(mut buf: &[u8]) -> Result<CountSketch, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::COUNT_SKETCH)?;
+    let width = wire::read_u32(buf)? as usize;
+    let depth = wire::read_u32(buf)? as usize;
+    let seed = wire::read_u64(buf)?;
+    let total = wire::read_u64(buf)?;
+    if width == 0 || depth == 0 || width.saturating_mul(depth) > MAX_CELLS {
+        return Err(CodecError::BadDimensions);
+    }
+    let cells = width * depth;
+    wire::need(buf, cells * 8)?;
+    let mut counters = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        counters.push(wire::read_i64(buf)?);
+    }
+    CountSketch::from_codec_parts(width, depth, seed, total, counters)
+        .ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes an AMS tug-of-war sketch.
+pub fn encode_ams(ams: &AmsSketch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + ams.width() * ams.depth() * 8);
+    wire::write_header(&mut buf, tag::AMS);
+    buf.put_u32(ams.width() as u32);
+    buf.put_u32(ams.depth() as u32);
+    buf.put_u64(ams.seed_for_codec());
+    for &c in ams.counters_for_codec() {
+        wire::write_i64(&mut buf, c);
+    }
+    buf.freeze()
+}
+
+/// Deserializes an AMS sketch.
+pub fn decode_ams(mut buf: &[u8]) -> Result<AmsSketch, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::AMS)?;
+    let width = wire::read_u32(buf)? as usize;
+    let depth = wire::read_u32(buf)? as usize;
+    let seed = wire::read_u64(buf)?;
+    if width == 0 || depth == 0 || width.saturating_mul(depth) > MAX_CELLS {
+        return Err(CodecError::BadDimensions);
+    }
+    let cells = width * depth;
+    wire::need(buf, cells * 8)?;
+    let mut counters = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        counters.push(wire::read_i64(buf)?);
+    }
+    AmsSketch::from_codec_parts(width, depth, seed, counters).ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes a KMV sketch.
+pub fn encode_kmv(kmv: &KmvSketch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + kmv.num_retained() * 8);
+    wire::write_header(&mut buf, tag::KMV);
+    buf.put_u32(kmv.k() as u32);
+    buf.put_u32(kmv.num_retained() as u32);
+    for h in kmv.mins_for_codec() {
+        buf.put_u64(h);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a KMV sketch.
+pub fn decode_kmv(mut buf: &[u8]) -> Result<KmvSketch, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::KMV)?;
+    let k = wire::read_u32(buf)? as usize;
+    let retained = wire::read_u32(buf)? as usize;
+    if k < 3 || retained > k {
+        return Err(CodecError::BadDimensions);
+    }
+    wire::need(buf, retained * 8)?;
+    let mut mins = Vec::with_capacity(retained);
+    for _ in 0..retained {
+        mins.push(buf.get_u64());
+    }
+    KmvSketch::from_codec_parts(k, mins).ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes a Bloom filter.
+pub fn encode_bloom(bf: &BloomFilter) -> Bytes {
+    let words = bf.words_for_codec();
+    let mut buf = BytesMut::with_capacity(32 + words.len() * 8);
+    wire::write_header(&mut buf, tag::BLOOM);
+    buf.put_u64(bf.num_bits() as u64);
+    buf.put_u32(bf.num_hashes());
+    buf.put_u64(bf.seed_for_codec());
+    buf.put_u64(bf.inserted());
+    for &w in words {
+        buf.put_u64(w);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Bloom filter.
+pub fn decode_bloom(mut buf: &[u8]) -> Result<BloomFilter, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::BLOOM)?;
+    let num_bits = wire::read_u64(buf)? as usize;
+    let num_hashes = wire::read_u32(buf)?;
+    let seed = wire::read_u64(buf)?;
+    let inserted = wire::read_u64(buf)?;
+    if num_bits == 0 || num_bits > MAX_BLOOM_BITS || num_hashes == 0 {
+        return Err(CodecError::BadDimensions);
+    }
+    let words = num_bits.div_ceil(64);
+    wire::need(buf, words * 8)?;
+    let mut bits = Vec::with_capacity(words);
+    for _ in 0..words {
+        bits.push(buf.get_u64());
+    }
+    BloomFilter::from_codec_parts(num_bits, num_hashes, seed, inserted, bits)
+        .ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes a Greenwald–Khanna quantile summary.
+pub fn encode_gk(gk: &GkQuantiles) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + gk.num_tuples() * 24);
+    wire::write_header(&mut buf, tag::GK);
+    wire::write_f64(&mut buf, gk.eps());
+    buf.put_u64(gk.count());
+    buf.put_u32(gk.num_tuples() as u32);
+    for (v, g, delta) in gk.tuples_for_codec() {
+        wire::write_f64(&mut buf, v);
+        buf.put_u64(g);
+        buf.put_u64(delta);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Greenwald–Khanna quantile summary.
+pub fn decode_gk(mut buf: &[u8]) -> Result<GkQuantiles, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::GK)?;
+    let eps = wire::read_f64(buf)?;
+    let n = wire::read_u64(buf)?;
+    let count = wire::read_u32(buf)? as usize;
+    wire::need(buf, count.checked_mul(24).ok_or(CodecError::BadDimensions)?)?;
+    let mut tuples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = wire::read_f64(buf)?;
+        let g = buf.get_u64();
+        let delta = buf.get_u64();
+        tuples.push((v, g, delta));
+    }
+    GkQuantiles::from_codec_parts(eps, n, tuples).ok_or(CodecError::BadDimensions)
+}
+
+fn encode_buckets(tag_byte: u8, buckets: &[Bucket]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + buckets.len() * 32);
+    wire::write_header(&mut buf, tag_byte);
+    buf.put_u32(buckets.len() as u32);
+    for b in buckets {
+        wire::write_f64(&mut buf, b.lo);
+        wire::write_f64(&mut buf, b.hi);
+        buf.put_u64(b.count);
+        wire::write_f64(&mut buf, b.sum);
+    }
+    buf.freeze()
+}
+
+fn decode_buckets(buf: &mut &[u8], tag_byte: u8) -> Result<Vec<Bucket>, CodecError> {
+    wire::read_header(buf, tag_byte)?;
+    let count = wire::read_u32(buf)? as usize;
+    wire::need(buf, count.checked_mul(32).ok_or(CodecError::BadDimensions)?)?;
+    let mut buckets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lo = wire::read_f64(buf)?;
+        let hi = wire::read_f64(buf)?;
+        let count = buf.get_u64();
+        let sum = wire::read_f64(buf)?;
+        buckets.push(Bucket { lo, hi, count, sum });
+    }
+    Ok(buckets)
+}
+
+/// Serializes an equi-width histogram.
+pub fn encode_equi_width(h: &EquiWidthHistogram) -> Bytes {
+    encode_buckets(tag::EQUI_WIDTH, h.buckets())
+}
+
+/// Deserializes an equi-width histogram.
+pub fn decode_equi_width(mut buf: &[u8]) -> Result<EquiWidthHistogram, CodecError> {
+    let buckets = decode_buckets(&mut buf, tag::EQUI_WIDTH)?;
+    EquiWidthHistogram::from_codec_parts(buckets).ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes an equi-depth histogram.
+pub fn encode_equi_depth(h: &EquiDepthHistogram) -> Bytes {
+    encode_buckets(tag::EQUI_DEPTH, h.buckets())
+}
+
+/// Deserializes an equi-depth histogram.
+pub fn decode_equi_depth(mut buf: &[u8]) -> Result<EquiDepthHistogram, CodecError> {
+    let buckets = decode_buckets(&mut buf, tag::EQUI_DEPTH)?;
+    EquiDepthHistogram::from_codec_parts(buckets).ok_or(CodecError::BadDimensions)
+}
+
+/// Serializes a Haar wavelet synopsis.
+pub fn encode_wavelet(w: &WaveletSynopsis) -> Bytes {
+    let coeffs = w.coefficients_for_codec();
+    let mut buf = BytesMut::with_capacity(16 + coeffs.len() * 12);
+    wire::write_header(&mut buf, tag::WAVELET);
+    buf.put_u64(w.len_for_codec() as u64);
+    buf.put_u32(coeffs.len() as u32);
+    for &(i, c) in coeffs {
+        buf.put_u32(i);
+        wire::write_f64(&mut buf, c);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a Haar wavelet synopsis.
+pub fn decode_wavelet(mut buf: &[u8]) -> Result<WaveletSynopsis, CodecError> {
+    let buf = &mut buf;
+    wire::read_header(buf, tag::WAVELET)?;
+    let len = wire::read_u64(buf)?;
+    if len == 0 || len > u32::MAX as u64 {
+        return Err(CodecError::BadDimensions);
+    }
+    let count = wire::read_u32(buf)? as usize;
+    wire::need(buf, count.checked_mul(12).ok_or(CodecError::BadDimensions)?)?;
+    let mut coefficients = Vec::with_capacity(count);
+    for _ in 0..count {
+        let i = buf.get_u32();
+        let c = wire::read_f64(buf)?;
+        coefficients.push((i, c));
+    }
+    WaveletSynopsis::from_codec_parts(len as usize, coefficients).ok_or(CodecError::BadDimensions)
+}
+
+/// Hooks a sketch's inherent `merge` and codec pair into the
+/// workspace-wide [`Partial`] contract.
+macro_rules! impl_partial {
+    ($ty:ty, $encode:ident, $decode:ident) => {
+        impl Partial for $ty {
+            fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+                <$ty>::merge(self, other)
+            }
+
+            fn to_bytes(&self) -> Bytes {
+                $encode(self)
+            }
+
+            fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+                $decode(buf)
+            }
+        }
+    };
+}
+
+impl_partial!(CountMinSketch, encode_count_min, decode_count_min);
+impl_partial!(HyperLogLog, encode_hll, decode_hll);
+impl_partial!(CountSketch, encode_count_sketch, decode_count_sketch);
+impl_partial!(AmsSketch, encode_ams, decode_ams);
+impl_partial!(KmvSketch, encode_kmv, decode_kmv);
+impl_partial!(BloomFilter, encode_bloom, decode_bloom);
+impl_partial!(GkQuantiles, encode_gk, decode_gk);
+impl_partial!(EquiWidthHistogram, encode_equi_width, decode_equi_width);
+impl_partial!(EquiDepthHistogram, encode_equi_depth, decode_equi_depth);
+impl_partial!(WaveletSynopsis, encode_wavelet, decode_wavelet);
 
 #[cfg(test)]
 mod tests {
@@ -169,7 +412,7 @@ mod tests {
         }
         let mut a2 = decode_hll(&encode_hll(&a)).unwrap();
         let b2 = decode_hll(&encode_hll(&b)).unwrap();
-        a2.merge(&b2);
+        a2.merge(&b2).unwrap();
         let est = a2.estimate();
         assert!((est - 15_000.0).abs() / 15_000.0 < 0.05, "merged est {est}");
     }
@@ -184,7 +427,7 @@ mod tests {
         ));
         // Right tag, wrong version.
         assert!(matches!(
-            decode_count_min(&[TAG_COUNT_MIN, 99]),
+            decode_count_min(&[tag::COUNT_MIN, 99]),
             Err(CodecError::BadVersion(99))
         ));
         // Truncated payload.
@@ -200,8 +443,7 @@ mod tests {
     #[test]
     fn rejects_absurd_dimensions() {
         let mut buf = BytesMut::new();
-        buf.put_u8(TAG_COUNT_MIN);
-        buf.put_u8(VERSION);
+        wire::write_header(&mut buf, tag::COUNT_MIN);
         buf.put_u32(u32::MAX);
         buf.put_u32(u32::MAX);
         buf.put_u64(0);
@@ -218,5 +460,180 @@ mod tests {
         assert_eq!(encode_hll(&hll).len(), 3 + 4096);
         let cm = CountMinSketch::new(64, 4, 0);
         assert_eq!(encode_count_min(&cm).len(), 2 + 4 + 4 + 8 + 8 + 64 * 4 * 8);
+    }
+
+    #[test]
+    fn every_sketch_roundtrips() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+
+        let mut cs = CountSketch::new(128, 5, 3);
+        let mut ams = AmsSketch::new(64, 5, 4);
+        let mut kmv = KmvSketch::new(64);
+        let mut bf = BloomFilter::new(1000, 4, 5);
+        let mut gk = GkQuantiles::new(0.01);
+        for i in 0..1000u64 {
+            cs.insert(&(i % 37).to_le_bytes(), 1);
+            ams.insert(&(i % 37).to_le_bytes(), 1);
+            kmv.insert(&i.to_le_bytes());
+            bf.insert(&i.to_le_bytes());
+            gk.insert((i % 97) as f64);
+        }
+        let ew = EquiWidthHistogram::build(&data, 16);
+        let ed = EquiDepthHistogram::build(&data, 16);
+        let w = WaveletSynopsis::build(&data, 64);
+
+        assert_eq!(decode_count_sketch(&encode_count_sketch(&cs)).unwrap(), cs);
+        assert_eq!(decode_ams(&encode_ams(&ams)).unwrap(), ams);
+        assert_eq!(decode_kmv(&encode_kmv(&kmv)).unwrap(), kmv);
+        assert_eq!(decode_bloom(&encode_bloom(&bf)).unwrap(), bf);
+        assert_eq!(decode_equi_width(&encode_equi_width(&ew)).unwrap(), ew);
+        assert_eq!(decode_equi_depth(&encode_equi_depth(&ed)).unwrap(), ed);
+        assert_eq!(decode_wavelet(&encode_wavelet(&w)).unwrap(), w);
+
+        // GK is not PartialEq over its private state; compare behavior.
+        let gk2 = decode_gk(&encode_gk(&gk)).unwrap();
+        assert_eq!(gk2.count(), gk.count());
+        for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(gk2.query(phi), gk.query(phi), "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn partial_trait_is_object_usable_per_type() {
+        // Generic helper drives any sketch purely through the contract.
+        fn roundtrip_merge<T: Partial + Clone + PartialEq + std::fmt::Debug>(a: &T, b: &T) {
+            let mut via_wire = T::from_bytes(&a.to_bytes()).unwrap();
+            Partial::merge(&mut via_wire, &T::from_bytes(&b.to_bytes()).unwrap()).unwrap();
+            let mut direct = a.clone();
+            Partial::merge(&mut direct, b).unwrap();
+            assert_eq!(via_wire, direct);
+        }
+
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        let mut ka = KmvSketch::new(32);
+        let mut kb = KmvSketch::new(32);
+        for i in 0..500u64 {
+            a.insert(&i.to_le_bytes());
+            b.insert(&(i + 250).to_le_bytes());
+            ka.insert(&i.to_le_bytes());
+            kb.insert(&(i + 250).to_le_bytes());
+        }
+        roundtrip_merge(&a, &b);
+        roundtrip_merge(&ka, &kb);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every encoded sketch, for fuzzing decoders. Returns (bytes, tag).
+    fn arbitrary_encoded() -> impl Strategy<Value = (Vec<u8>, u8)> {
+        (any::<u64>(), 1usize..200).prop_map(|(seed, n)| {
+            let variant = (seed % 9) as u8;
+            let data: Vec<f64> = (0..n).map(|i| ((i as u64 ^ seed) % 1000) as f64).collect();
+            let bytes = match variant {
+                0 => {
+                    let mut s = CountMinSketch::new(32, 3, seed);
+                    for i in 0..n as u64 {
+                        s.insert(&i.to_le_bytes(), 1);
+                    }
+                    encode_count_min(&s)
+                }
+                1 => {
+                    let mut s = HyperLogLog::new(6);
+                    for i in 0..n as u64 {
+                        s.insert(&(i ^ seed).to_le_bytes());
+                    }
+                    encode_hll(&s)
+                }
+                2 => {
+                    let mut s = CountSketch::new(32, 3, seed);
+                    for i in 0..n as u64 {
+                        s.insert(&i.to_le_bytes(), 1);
+                    }
+                    encode_count_sketch(&s)
+                }
+                3 => {
+                    let mut s = AmsSketch::new(16, 3, seed);
+                    for i in 0..n as u64 {
+                        s.insert(&i.to_le_bytes(), 1);
+                    }
+                    encode_ams(&s)
+                }
+                4 => {
+                    let mut s = KmvSketch::new(16);
+                    for i in 0..n as u64 {
+                        s.insert(&(i ^ seed).to_le_bytes());
+                    }
+                    encode_kmv(&s)
+                }
+                5 => {
+                    let mut s = BloomFilter::new(256, 3, seed);
+                    for i in 0..n as u64 {
+                        s.insert(&i.to_le_bytes());
+                    }
+                    encode_bloom(&s)
+                }
+                6 => {
+                    let mut s = GkQuantiles::new(0.05);
+                    for &x in &data {
+                        s.insert(x);
+                    }
+                    encode_gk(&s)
+                }
+                7 => encode_equi_width(&EquiWidthHistogram::build(&data, 8)),
+                _ => encode_wavelet(&WaveletSynopsis::build(&data, 32)),
+            };
+            (bytes.to_vec(), bytes[0])
+        })
+    }
+
+    fn decode_any(bytes: &[u8], tag_byte: u8) -> Result<(), CodecError> {
+        match tag_byte {
+            tag::COUNT_MIN => decode_count_min(bytes).map(|_| ()),
+            tag::HLL => decode_hll(bytes).map(|_| ()),
+            tag::COUNT_SKETCH => decode_count_sketch(bytes).map(|_| ()),
+            tag::AMS => decode_ams(bytes).map(|_| ()),
+            tag::KMV => decode_kmv(bytes).map(|_| ()),
+            tag::BLOOM => decode_bloom(bytes).map(|_| ()),
+            tag::GK => decode_gk(bytes).map(|_| ()),
+            tag::EQUI_WIDTH => decode_equi_width(bytes).map(|_| ()),
+            tag::WAVELET => decode_wavelet(bytes).map(|_| ()),
+            other => panic!("unexpected tag {other:#04x}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Decoding a valid buffer succeeds; decoding any prefix of it
+        /// errors without panicking.
+        #[test]
+        fn truncation_always_errors_never_panics((bytes, t) in arbitrary_encoded(), frac in 0.0f64..1.0) {
+            prop_assert!(decode_any(&bytes, t).is_ok());
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(decode_any(&bytes[..cut], t).is_err());
+        }
+
+        /// Corrupting the header is always detected.
+        #[test]
+        fn corrupt_header_detected((bytes, t) in arbitrary_encoded(), flip in any::<u8>()) {
+            let mut wrong_tag = bytes.clone();
+            wrong_tag[0] ^= flip | 1; // guaranteed different tag
+            prop_assert_eq!(
+                decode_any(&wrong_tag, t),
+                Err(CodecError::BadMagic(wrong_tag[0]))
+            );
+            // A future format version must be rejected, not misread.
+            let mut future = bytes.clone();
+            future[1] = aqp_mergeable::CODEC_VERSION + 1;
+            prop_assert_eq!(
+                decode_any(&future, t),
+                Err(CodecError::BadVersion(aqp_mergeable::CODEC_VERSION + 1))
+            );
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Count-Min sketch (Cormode & Muthukrishnan).
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_bytes, hash_with_seed};
@@ -166,20 +167,22 @@ impl CountMinSketch {
         })
     }
 
-    /// Merges another sketch with identical dimensions and seed.
-    ///
-    /// # Panics
-    /// Panics on dimension or seed mismatch.
-    pub fn merge(&mut self, other: &CountMinSketch) {
-        assert_eq!(
-            (self.width, self.depth, self.seed),
-            (other.width, other.depth, other.seed),
-            "can only merge identically configured Count-Min sketches"
-        );
+    /// Merges another sketch with identical dimensions and seed
+    /// (counter-wise sum — exactly the sketch of the concatenated streams).
+    /// Returns a typed error on dimension or seed mismatch.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), MergeError> {
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed) {
+            return Err(MergeError::Incompatible {
+                kind: "count-min",
+                expected: format!("{}x{} seed {}", self.width, self.depth, self.seed),
+                found: format!("{}x{} seed {}", other.width, other.depth, other.seed),
+            });
+        }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
         }
         self.total += other.total;
+        Ok(())
     }
 }
 
@@ -260,16 +263,28 @@ mod tests {
             }
             whole.insert(&item, 1);
         }
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a, whole);
     }
 
     #[test]
-    #[should_panic(expected = "identically configured")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = CountMinSketch::new(128, 4, 1);
-        let b = CountMinSketch::new(64, 4, 1);
-        a.merge(&b);
+        let snapshot = a.clone();
+        let err = a.merge(&CountMinSketch::new(64, 4, 1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "count-min",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Seed mismatch is just as fatal as a shape mismatch.
+        assert!(a.merge(&CountMinSketch::new(128, 4, 2)).is_err());
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! two-sided estimator whose error scales with `√F₂` rather than `N` —
 //! better on skewed data where a few heavy hitters dominate the stream.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_bytes, hash_with_seed, sign_of};
@@ -96,20 +97,53 @@ impl CountSketch {
         }
     }
 
-    /// Merges an identically configured sketch.
-    ///
-    /// # Panics
-    /// Panics on configuration mismatch.
-    pub fn merge(&mut self, other: &CountSketch) {
-        assert_eq!(
-            (self.width, self.depth, self.seed),
-            (other.width, other.depth, other.seed),
-            "can only merge identically configured Count-Sketches"
-        );
+    /// Merges an identically configured sketch (stream concatenation).
+    /// Returns a typed error on configuration mismatch.
+    pub fn merge(&mut self, other: &CountSketch) -> Result<(), MergeError> {
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed) {
+            return Err(MergeError::Incompatible {
+                kind: "count-sketch",
+                expected: format!("{}x{} seed {}", self.width, self.depth, self.seed),
+                found: format!("{}x{} seed {}", other.width, other.depth, other.seed),
+            });
+        }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
             *a += b;
         }
         self.total += other.total;
+        Ok(())
+    }
+
+    /// Codec accessor: the hash seed.
+    pub fn seed_for_codec(&self) -> u64 {
+        self.seed
+    }
+
+    /// Codec accessor: the raw counter array (row-major depth × width).
+    pub fn counters_for_codec(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Codec constructor: reassembles a sketch from its raw parts.
+    /// Returns `None` when the counter array does not match the declared
+    /// dimensions.
+    pub fn from_codec_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        total: u64,
+        counters: Vec<i64>,
+    ) -> Option<Self> {
+        if width == 0 || depth == 0 || counters.len() != width * depth {
+            return None;
+        }
+        Some(Self {
+            width,
+            depth,
+            seed,
+            counters,
+            total,
+        })
     }
 }
 
@@ -177,14 +211,25 @@ mod tests {
             }
             whole.insert(&item, 1);
         }
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a, whole);
     }
 
     #[test]
-    #[should_panic(expected = "identically configured")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = CountSketch::new(128, 5, 1);
-        a.merge(&CountSketch::new(128, 5, 2));
+        let snapshot = a.clone();
+        let err = a.merge(&CountSketch::new(128, 5, 2)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "count-sketch",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 }

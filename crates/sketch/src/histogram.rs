@@ -5,6 +5,7 @@
 //! each bucket. Equi-depth buckets adapt to skew (each holds ~n/k rows);
 //! equi-width buckets are cheaper to build but degrade badly on skew.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 /// One histogram bucket over `[lo, hi)` (the last bucket is closed).
@@ -59,6 +60,57 @@ fn range_sum(buckets: &[Bucket], a: f64, b: f64) -> f64 {
     buckets.iter().map(|bk| bk.overlap_sum(a, b)).sum()
 }
 
+/// Shared merge over two bucket lists: boundaries must be bit-identical,
+/// per-bucket counts and sums add. Histograms answer *additive* range
+/// aggregates, so merging two partials over the same bucketing is exactly
+/// the histogram of the concatenated data.
+fn merge_buckets(
+    kind: &'static str,
+    mine: &mut [Bucket],
+    theirs: &[Bucket],
+) -> Result<(), MergeError> {
+    let describe = |bs: &[Bucket]| {
+        let (lo, hi) = match (bs.first(), bs.last()) {
+            (Some(f), Some(l)) => (f.lo, l.hi),
+            _ => (f64::NAN, f64::NAN),
+        };
+        format!("{} buckets over [{lo}, {hi}]", bs.len())
+    };
+    let compatible = mine.len() == theirs.len()
+        && mine
+            .iter()
+            .zip(theirs.iter())
+            .all(|(a, b)| a.lo == b.lo && a.hi == b.hi);
+    if !compatible {
+        return Err(MergeError::Incompatible {
+            kind,
+            expected: describe(mine),
+            found: describe(theirs),
+        });
+    }
+    for (a, b) in mine.iter_mut().zip(theirs) {
+        a.count += b.count;
+        a.sum += b.sum;
+    }
+    Ok(())
+}
+
+/// Shared codec validation: buckets non-empty, finite, ordered.
+fn validated_buckets(buckets: Vec<Bucket>) -> Option<Vec<Bucket>> {
+    if buckets.is_empty() {
+        return None;
+    }
+    for (i, b) in buckets.iter().enumerate() {
+        if !b.lo.is_finite() || !b.hi.is_finite() || b.lo > b.hi || b.sum.is_nan() {
+            return None;
+        }
+        if i > 0 && buckets[i - 1].hi > b.lo {
+            return None;
+        }
+    }
+    Some(buckets)
+}
+
 /// An equi-width histogram: `k` buckets of equal value-range.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EquiWidthHistogram {
@@ -71,11 +123,26 @@ impl EquiWidthHistogram {
     /// # Panics
     /// Panics if `k == 0` or `data` is empty or contains NaN.
     pub fn build(data: &[f64], k: usize) -> Self {
-        assert!(k > 0, "need at least one bucket");
         assert!(!data.is_empty(), "cannot build a histogram of nothing");
         let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(lo.is_finite() && hi.is_finite(), "data must be finite");
+        Self::build_in_range(data, k, lo, hi)
+    }
+
+    /// Builds with `k` buckets over an explicitly agreed `[lo, hi]` range,
+    /// so independently built partials (shards, deltas) share bit-identical
+    /// bucket boundaries and stay mergeable. Values outside the range are
+    /// clamped into the edge buckets.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `data` is empty, or the range is not finite.
+    pub fn build_in_range(data: &[f64], k: usize, lo: f64, hi: f64) -> Self {
+        assert!(k > 0, "need at least one bucket");
+        assert!(!data.is_empty(), "cannot build a histogram of nothing");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "range must be finite"
+        );
         let width = ((hi - lo) / k as f64).max(f64::MIN_POSITIVE);
         let mut buckets: Vec<Bucket> = (0..k)
             .map(|i| Bucket {
@@ -115,6 +182,19 @@ impl EquiWidthHistogram {
     /// Memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.buckets.len() * std::mem::size_of::<Bucket>()
+    }
+
+    /// Merges a histogram with bit-identical bucket boundaries (counts and
+    /// sums add). Returns a typed error on boundary mismatch.
+    pub fn merge(&mut self, other: &EquiWidthHistogram) -> Result<(), MergeError> {
+        merge_buckets("equi-width-histogram", &mut self.buckets, &other.buckets)
+    }
+
+    /// Codec constructor: reassembles a histogram from its buckets.
+    /// Returns `None` when the bucket list is empty, unordered, or
+    /// non-finite.
+    pub fn from_codec_parts(buckets: Vec<Bucket>) -> Option<Self> {
+        validated_buckets(buckets).map(|buckets| Self { buckets })
     }
 }
 
@@ -197,6 +277,20 @@ impl EquiDepthHistogram {
     /// Memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.buckets.len() * std::mem::size_of::<Bucket>()
+    }
+
+    /// Merges a histogram with bit-identical bucket boundaries (counts and
+    /// sums add; the result is no longer exactly equi-depth but estimates
+    /// the concatenated data). Returns a typed error on boundary mismatch.
+    pub fn merge(&mut self, other: &EquiDepthHistogram) -> Result<(), MergeError> {
+        merge_buckets("equi-depth-histogram", &mut self.buckets, &other.buckets)
+    }
+
+    /// Codec constructor: reassembles a histogram from its buckets.
+    /// Returns `None` when the bucket list is empty, unordered, or
+    /// non-finite.
+    pub fn from_codec_parts(buckets: Vec<Bucket>) -> Option<Self> {
+        validated_buckets(buckets).map(|buckets| Self { buckets })
     }
 }
 
@@ -322,6 +416,60 @@ mod tests {
                 / ranges.len() as f64
         };
         assert!(avg_err(512) < avg_err(4));
+    }
+
+    #[test]
+    fn merge_shared_range_equals_whole_build() {
+        // Two shards built over an agreed range merge into exactly the
+        // histogram of the concatenated data.
+        let data = skewed_data();
+        let (half_a, half_b) = data.split_at(data.len() / 2);
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut merged = EquiWidthHistogram::build_in_range(half_a, 64, lo, hi);
+        merged
+            .merge(&EquiWidthHistogram::build_in_range(half_b, 64, lo, hi))
+            .unwrap();
+        let whole = EquiWidthHistogram::build_in_range(&data, 64, lo, hi);
+        for (m, w) in merged.buckets().iter().zip(whole.buckets()) {
+            assert_eq!(m.count, w.count);
+            assert!((m.sum - w.sum).abs() < 1e-9 * (1.0 + w.sum.abs()));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_boundaries() {
+        let data = uniform_data();
+        let mut a = EquiWidthHistogram::build(&data, 16);
+        let b = EquiWidthHistogram::build(&data, 32);
+        let err = a.merge(&b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "equi-width-histogram",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let mut ed = EquiDepthHistogram::build(&data, 16);
+        let shifted = EquiDepthHistogram::build(&data[100..], 16);
+        assert!(ed.merge(&shifted).is_err());
+    }
+
+    #[test]
+    fn equi_depth_merge_same_boundaries() {
+        // Folding a same-boundary partial doubles every bucket.
+        let data = uniform_data();
+        let mut h = EquiDepthHistogram::build(&data, 8);
+        let copy = h.clone();
+        h.merge(&copy).unwrap();
+        for (a, b) in h.buckets().iter().zip(copy.buckets()) {
+            assert_eq!(a.count, 2 * b.count);
+            assert!((a.sum - 2.0 * b.sum).abs() < 1e-9 * (1.0 + b.sum.abs()));
+        }
+        assert!((h.range_count(f64::MIN, f64::MAX) - 2.0 * data.len() as f64).abs() < 1e-6);
     }
 
     #[test]

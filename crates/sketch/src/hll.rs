@@ -5,6 +5,7 @@
 //! sample is provably unable to estimate `COUNT(DISTINCT …)` well, while a
 //! 2-kilobyte HLL answers it to ~2% regardless of data size.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{hash_bytes, mix64};
@@ -123,17 +124,20 @@ impl HyperLogLog {
     }
 
     /// Merges another sketch of the same precision (register-wise max).
-    ///
-    /// # Panics
-    /// Panics on precision mismatch.
-    pub fn merge(&mut self, other: &HyperLogLog) {
-        assert_eq!(
-            self.precision, other.precision,
-            "can only merge HLLs of equal precision"
-        );
+    /// Equivalent to sketching the union of the two streams; leaves `self`
+    /// untouched and returns a typed error on precision mismatch.
+    pub fn merge(&mut self, other: &HyperLogLog) -> Result<(), MergeError> {
+        if self.precision != other.precision {
+            return Err(MergeError::Incompatible {
+                kind: "hyperloglog",
+                expected: format!("precision {}", self.precision),
+                found: format!("precision {}", other.precision),
+            });
+        }
         for (a, b) in self.registers.iter_mut().zip(&other.registers) {
             *a = (*a).max(*b);
         }
+        Ok(())
     }
 }
 
@@ -213,7 +217,7 @@ mod tests {
         let mut b = HyperLogLog::new(12);
         fill(&mut a, 0..60_000);
         fill(&mut b, 40_000..100_000);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         let est = a.estimate();
         assert!(
             (est - 100_000.0).abs() / 100_000.0 < 0.05,
@@ -227,15 +231,26 @@ mod tests {
         fill(&mut a, 0..1000);
         let before = a.estimate();
         let copy = a.clone();
-        a.merge(&copy);
+        a.merge(&copy).unwrap();
         assert_eq!(a.estimate(), before);
     }
 
     #[test]
-    #[should_panic(expected = "equal precision")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = HyperLogLog::new(10);
-        a.merge(&HyperLogLog::new(11));
+        let snapshot = a.clone();
+        let err = a.merge(&HyperLogLog::new(11)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "hyperloglog",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 
     #[test]

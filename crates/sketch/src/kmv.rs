@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::hash_bytes;
@@ -74,14 +75,41 @@ impl KmvSketch {
     }
 
     /// Merges another sketch (same k): union of hash sets, re-trimmed.
-    ///
-    /// # Panics
-    /// Panics if `k` differs.
-    pub fn merge(&mut self, other: &KmvSketch) {
-        assert_eq!(self.k, other.k, "can only merge KMV sketches of equal k");
+    /// Returns a typed error if `k` differs.
+    pub fn merge(&mut self, other: &KmvSketch) -> Result<(), MergeError> {
+        if self.k != other.k {
+            return Err(MergeError::Incompatible {
+                kind: "kmv",
+                expected: format!("k {}", self.k),
+                found: format!("k {}", other.k),
+            });
+        }
         for &h in &other.mins {
             self.insert_hashed(h);
         }
+        Ok(())
+    }
+
+    /// Codec accessor: the retained minimum hashes in ascending order.
+    pub fn mins_for_codec(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mins.iter().copied()
+    }
+
+    /// Number of retained hashes (≤ k).
+    pub fn num_retained(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Codec constructor: reassembles a sketch from its raw parts.
+    /// Returns `None` when `k < 3` or more than `k` hashes are given.
+    pub fn from_codec_parts(k: usize, mins: Vec<u64>) -> Option<Self> {
+        if k < 3 || mins.len() > k {
+            return None;
+        }
+        Some(Self {
+            k,
+            mins: mins.into_iter().collect(),
+        })
     }
 
     /// Jaccard-similarity estimate between two sketches (same k): the
@@ -109,9 +137,13 @@ impl KmvSketch {
     }
 
     /// Distinct count of the intersection, via Jaccard × union estimate.
+    /// # Panics
+    /// Panics if `k` differs (via [`KmvSketch::jaccard`]).
     pub fn intersection_estimate(&self, other: &KmvSketch) -> f64 {
         let mut union = self.clone();
-        union.merge(other);
+        union
+            .merge(other)
+            .expect("jaccard already requires equal k");
         self.jaccard(other) * union.estimate()
     }
 }
@@ -164,7 +196,7 @@ mod tests {
     fn merge_estimates_union() {
         let b = filled(40_000..100_000, 1024);
         let mut u = filled(0..60_000, 1024);
-        u.merge(&b);
+        u.merge(&b).unwrap();
         let est = u.estimate();
         assert!((est - 100_000.0).abs() / 100_000.0 < 0.15, "est {est}");
     }
@@ -192,10 +224,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal k")]
-    fn merge_rejects_mismatch() {
+    fn merge_rejects_mismatch_without_panicking() {
         let mut a = KmvSketch::new(64);
-        a.merge(&KmvSketch::new(128));
+        let snapshot = a.clone();
+        let err = a.merge(&KmvSketch::new(128)).unwrap_err();
+        assert!(
+            matches!(err, MergeError::Incompatible { kind: "kmv", .. }),
+            "{err}"
+        );
+        assert_eq!(a, snapshot, "failed merge must leave self unchanged");
     }
 
     #[test]

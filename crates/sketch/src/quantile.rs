@@ -5,6 +5,7 @@
 //! sorting that NSB lists among synopsis techniques for ORDER-BY-ish
 //! aggregates (medians, percentile dashboards).
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 /// One summary tuple: a value, the minimum-rank gap `g`, and the rank
@@ -121,6 +122,93 @@ impl GkQuantiles {
     pub fn median(&self) -> Option<f64> {
         self.query(0.5)
     }
+
+    /// Merges another summary with the same ε by interleaving the two
+    /// sorted tuple lists. Each tuple keeps its `g` but its `Δ` grows by
+    /// the other summary's rank uncertainty (`⌊2εn_other⌋`), so the merged
+    /// summary's rank error is at most `ε·n_self + 2ε·n_other` — still
+    /// `O(ε·n)` but conservatively wider than a freshly built summary.
+    /// Returns a typed error on ε mismatch.
+    pub fn merge(&mut self, other: &GkQuantiles) -> Result<(), MergeError> {
+        if self.eps != other.eps {
+            return Err(MergeError::Incompatible {
+                kind: "gk-quantiles",
+                expected: format!("eps {}", self.eps),
+                found: format!("eps {}", other.eps),
+            });
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        let inflate_self = (2.0 * other.eps * other.n as f64).floor() as u64;
+        let inflate_other = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let mut merged = Vec::with_capacity(self.tuples.len() + other.tuples.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.tuples.len() || j < other.tuples.len() {
+            let take_self = match (self.tuples.get(i), other.tuples.get(j)) {
+                (Some(a), Some(b)) => a.v <= b.v,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_self {
+                let t = self.tuples[i];
+                merged.push(GkTuple {
+                    delta: t.delta + inflate_self,
+                    ..t
+                });
+                i += 1;
+            } else {
+                let t = other.tuples[j];
+                merged.push(GkTuple {
+                    delta: t.delta + inflate_other,
+                    ..t
+                });
+                j += 1;
+            }
+        }
+        self.tuples = merged;
+        self.n += other.n;
+        self.since_compress = 0;
+        self.compress();
+        Ok(())
+    }
+
+    /// Codec accessor: `(value, g, Δ)` triples in value order.
+    pub fn tuples_for_codec(&self) -> impl Iterator<Item = (f64, u64, u64)> + '_ {
+        self.tuples.iter().map(|t| (t.v, t.g, t.delta))
+    }
+
+    /// Codec constructor: reassembles a summary from its raw parts.
+    /// Returns `None` when ε is out of range, values are NaN or unsorted,
+    /// or the tuple gaps do not sum to `n`.
+    pub fn from_codec_parts(eps: f64, n: u64, tuples: Vec<(f64, u64, u64)>) -> Option<Self> {
+        if !(eps > 0.0 && eps < 0.5) {
+            return None;
+        }
+        let mut g_sum = 0u64;
+        for (idx, &(v, g, _)) in tuples.iter().enumerate() {
+            if v.is_nan() || (idx > 0 && tuples[idx - 1].0 > v) {
+                return None;
+            }
+            g_sum = g_sum.checked_add(g)?;
+        }
+        if g_sum != n {
+            return None;
+        }
+        Some(Self {
+            eps,
+            n,
+            tuples: tuples
+                .into_iter()
+                .map(|(v, g, delta)| GkTuple { v, g, delta })
+                .collect(),
+            since_compress: 0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +305,65 @@ mod tests {
         assert_eq!(gk.query(0.0), Some(0.0));
         let hi = gk.query(1.0).unwrap();
         assert!(hi >= 990.0, "max quantile {hi}");
+    }
+
+    #[test]
+    fn merge_preserves_rank_error_budget() {
+        // Two disjoint halves merged vs the whole stream: quantiles agree
+        // within the widened (ε_self + 2ε_other ≈ 3ε) merge bound.
+        let eps = 0.01;
+        let data: Vec<f64> = (0..20_000).map(|i| ((i * 7919) % 20_000) as f64).collect();
+        let mut a = GkQuantiles::new(eps);
+        let mut b = GkQuantiles::new(eps);
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.insert(x);
+            } else {
+                b.insert(x);
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 20_000);
+        let mut sorted = data;
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for &phi in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let q = a.query(phi).unwrap();
+            let achieved = rank_of(&sorted, q);
+            assert!(
+                (achieved - phi).abs() <= 5.0 * eps,
+                "phi={phi}: merged rank {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut gk = GkQuantiles::new(0.05);
+        for i in 0..500 {
+            gk.insert(i as f64);
+        }
+        let snapshot = gk.clone();
+        gk.merge(&GkQuantiles::new(0.05)).unwrap();
+        assert_eq!(gk, snapshot);
+        let mut empty = GkQuantiles::new(0.05);
+        empty.merge(&snapshot).unwrap();
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_rejects_mismatch_without_panicking() {
+        let mut a = GkQuantiles::new(0.01);
+        let err = a.merge(&GkQuantiles::new(0.02)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "gk-quantiles",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! coefficients where it is not — the classic alternative to histograms in
 //! NSB's synopsis family.
 
+use aqp_mergeable::MergeError;
 use serde::{Deserialize, Serialize};
 
 /// A truncated Haar wavelet decomposition of a (zero-padded) vector.
@@ -83,6 +84,90 @@ impl WaveletSynopsis {
             return 0.0;
         }
         self.reconstruct()[a..=b].iter().sum()
+    }
+
+    /// Merges a synopsis of the same vector length by coefficient-wise
+    /// addition over the index union — the Haar transform is linear, so
+    /// this is exactly the synopsis of the *summed* signal (when both
+    /// sides kept every non-zero coefficient; with truncation the usual
+    /// top-B error applies). The merged synopsis may retain more
+    /// coefficients than either input; it is not re-truncated. Returns a
+    /// typed error on length mismatch.
+    pub fn merge(&mut self, other: &WaveletSynopsis) -> Result<(), MergeError> {
+        if self.len != other.len || self.padded != other.padded {
+            return Err(MergeError::Incompatible {
+                kind: "wavelet",
+                expected: format!("len {} (padded {})", self.len, self.padded),
+                found: format!("len {} (padded {})", other.len, other.padded),
+            });
+        }
+        let mut merged = Vec::with_capacity(self.coefficients.len() + other.coefficients.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.coefficients.len() || j < other.coefficients.len() {
+            match (self.coefficients.get(i), other.coefficients.get(j)) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) if ia == ib => {
+                    let c = ca + cb;
+                    if c != 0.0 {
+                        merged.push((ia, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(ia, ca)), Some(&(ib, _))) if ia < ib => {
+                    merged.push((ia, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(ib, cb))) => {
+                    merged.push((ib, cb));
+                    j += 1;
+                }
+                (Some(&(ia, ca)), None) => {
+                    merged.push((ia, ca));
+                    i += 1;
+                }
+                (None, Some(&(ib, cb))) => {
+                    merged.push((ib, cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.coefficients = merged;
+        Ok(())
+    }
+
+    /// Codec accessor: the original (un-padded) vector length.
+    pub fn len_for_codec(&self) -> usize {
+        self.len
+    }
+
+    /// Codec accessor: the retained `(index, coefficient)` pairs in index
+    /// order.
+    pub fn coefficients_for_codec(&self) -> &[(u32, f64)] {
+        &self.coefficients
+    }
+
+    /// Codec constructor: reassembles a synopsis from its raw parts.
+    /// Returns `None` when `len == 0` or coefficients are out of range,
+    /// unsorted, or non-finite.
+    pub fn from_codec_parts(len: usize, coefficients: Vec<(u32, f64)>) -> Option<Self> {
+        if len == 0 {
+            return None;
+        }
+        let padded = len.next_power_of_two();
+        for (pos, &(i, c)) in coefficients.iter().enumerate() {
+            if i as usize >= padded || !c.is_finite() {
+                return None;
+            }
+            if pos > 0 && coefficients[pos - 1].0 >= i {
+                return None;
+            }
+        }
+        Some(Self {
+            len,
+            padded,
+            coefficients,
+        })
     }
 }
 
@@ -213,6 +298,38 @@ mod tests {
         let w = WaveletSynopsis::build(&data, 32);
         assert!(w.num_coefficients() <= 32);
         assert_eq!(w.size_bytes(), w.num_coefficients() * 12);
+    }
+
+    #[test]
+    fn merge_adds_signals() {
+        // Full-budget synopses of two signals merge into the synopsis of
+        // their sum, by linearity of the Haar transform.
+        let a: Vec<f64> = (0..100).map(|i| ((i * 13) % 37) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 7) % 23) as f64).collect();
+        let mut merged = WaveletSynopsis::build(&a, 128);
+        merged.merge(&WaveletSynopsis::build(&b, 128)).unwrap();
+        let r = merged.reconstruct();
+        for i in 0..100 {
+            assert!((r[i] - (a[i] + b[i])).abs() < 1e-9, "index {i}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_length_mismatch_without_panicking() {
+        let mut a = WaveletSynopsis::build(&[1.0, 2.0, 3.0], 4);
+        let err = a
+            .merge(&WaveletSynopsis::build(&[1.0, 2.0], 4))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::Incompatible {
+                    kind: "wavelet",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! These are the single-pass building blocks every sampler-fed estimator
 //! uses: numerically stable mean/variance without storing the sample.
 
+use aqp_mergeable::{tag, wire, CodecError, MergeError, Partial};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// Streaming count / mean / variance accumulator (Welford).
@@ -133,6 +135,41 @@ impl Moments {
     }
 }
 
+/// Moments merge via the parallel-Welford combine: exact for `n`, `sum`,
+/// `min`, `max`; mean and m2 agree with single-pass accumulation up to
+/// floating-point round-off.
+impl Partial for Moments {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        *self = Moments::merge(self, other);
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(2 + 6 * 8);
+        wire::write_header(&mut buf, tag::MOMENTS);
+        buf.put_u64(self.n);
+        wire::write_f64(&mut buf, self.mean);
+        wire::write_f64(&mut buf, self.m2);
+        wire::write_f64(&mut buf, self.min);
+        wire::write_f64(&mut buf, self.max);
+        wire::write_f64(&mut buf, self.sum);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let buf = &mut buf;
+        wire::read_header(buf, tag::MOMENTS)?;
+        Ok(Moments {
+            n: wire::read_u64(buf)?,
+            mean: wire::read_f64(buf)?,
+            m2: wire::read_f64(buf)?,
+            min: wire::read_f64(buf)?,
+            max: wire::read_f64(buf)?,
+            sum: wire::read_f64(buf)?,
+        })
+    }
+}
+
 /// Weighted streaming moments, for Horvitz–Thompson-weighted samples
 /// (stratified, distinct, measure-biased designs produce unequal weights).
 ///
@@ -248,6 +285,40 @@ impl WeightedMoments {
     }
 }
 
+/// Same contract as [`Moments`]: exact counts and weight masses, combined
+/// mean/m2 within floating-point round-off of single-pass accumulation.
+impl Partial for WeightedMoments {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        *self = WeightedMoments::merge(self, other);
+        Ok(())
+    }
+
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(2 + 6 * 8);
+        wire::write_header(&mut buf, tag::WEIGHTED_MOMENTS);
+        buf.put_u64(self.n);
+        wire::write_f64(&mut buf, self.w_sum);
+        wire::write_f64(&mut buf, self.w2_sum);
+        wire::write_f64(&mut buf, self.mean);
+        wire::write_f64(&mut buf, self.m2);
+        wire::write_f64(&mut buf, self.weighted_sum);
+        buf.freeze()
+    }
+
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, CodecError> {
+        let buf = &mut buf;
+        wire::read_header(buf, tag::WEIGHTED_MOMENTS)?;
+        Ok(WeightedMoments {
+            n: wire::read_u64(buf)?,
+            w_sum: wire::read_f64(buf)?,
+            w2_sum: wire::read_f64(buf)?,
+            mean: wire::read_f64(buf)?,
+            m2: wire::read_f64(buf)?,
+            weighted_sum: wire::read_f64(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +424,93 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn weighted_rejects_zero_weight() {
         WeightedMoments::new().push(1.0, 0.0);
+    }
+
+    #[test]
+    fn partial_roundtrip_and_header_checks() {
+        let m = Moments::from_slice(&[2.0, 4.0, 9.0]);
+        let bytes = Partial::to_bytes(&m);
+        assert_eq!(Moments::from_bytes(&bytes).unwrap(), m);
+        // Empty state roundtrips too (±∞ min/max survive the wire).
+        let e = Moments::new();
+        assert_eq!(Moments::from_bytes(&Partial::to_bytes(&e)).unwrap(), e);
+
+        let mut w = WeightedMoments::new();
+        w.push(10.0, 2.0);
+        w.push(20.0, 4.0);
+        assert_eq!(
+            WeightedMoments::from_bytes(&Partial::to_bytes(&w)).unwrap(),
+            w
+        );
+
+        // Cross-type decode is rejected by the tag.
+        assert!(matches!(
+            WeightedMoments::from_bytes(&bytes),
+            Err(CodecError::BadMagic(t)) if t == tag::MOMENTS
+        ));
+        // Truncation at every cut errors, never panics.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Moments::from_bytes(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut {cut}"
+            );
+        }
+        // A future version is rejected.
+        let mut future = bytes.to_vec();
+        future[1] += 1;
+        assert!(matches!(
+            Moments::from_bytes(&future),
+            Err(CodecError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn partial_merge_matches_inherent() {
+        let a = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Moments::from_slice(&[10.0, 20.0]);
+        let mut via_trait = a;
+        Partial::merge(&mut via_trait, &b).unwrap();
+        assert_eq!(via_trait, a.merge(&b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn moments_wire_roundtrip(xs in proptest::collection::vec(-1e9f64..1e9, 0..50)) {
+            let m = Moments::from_slice(&xs);
+            prop_assert_eq!(Moments::from_bytes(&Partial::to_bytes(&m)).unwrap(), m);
+        }
+
+        #[test]
+        fn weighted_wire_roundtrip(
+            xs in proptest::collection::vec((-1e6f64..1e6, 0.1f64..100.0), 0..50),
+        ) {
+            let mut w = WeightedMoments::new();
+            for &(x, wt) in &xs {
+                w.push(x, wt);
+            }
+            prop_assert_eq!(
+                WeightedMoments::from_bytes(&Partial::to_bytes(&w)).unwrap(),
+                w
+            );
+        }
+
+        #[test]
+        fn truncated_moments_never_panic(
+            xs in proptest::collection::vec(-1e9f64..1e9, 0..20),
+            frac in 0.0f64..1.0,
+        ) {
+            let bytes = Partial::to_bytes(&Moments::from_slice(&xs));
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(Moments::from_bytes(&bytes[..cut]).is_err());
+        }
     }
 }

@@ -17,12 +17,15 @@
 //! * [`table`] — tables, builders, row/block iteration.
 //! * [`catalog`] — a thread-safe name → table map.
 //! * [`error`] — storage error type.
+//! * [`codec`] — the table wire codec and `Partial` impl (tables merge by
+//!   zero-copy block concatenation for shard-then-merge execution).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod block;
 pub mod catalog;
+pub mod codec;
 pub mod column;
 pub mod error;
 pub mod schema;
@@ -32,6 +35,7 @@ pub mod zone;
 
 pub use block::Block;
 pub use catalog::Catalog;
+pub use codec::{decode_table, encode_table};
 pub use column::Column;
 pub use error::StorageError;
 pub use schema::{Field, Schema};

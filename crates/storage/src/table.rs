@@ -149,6 +149,64 @@ impl Table {
         Ok(out)
     }
 
+    /// Partitions the table into exactly `n` contiguous shards along block
+    /// boundaries — the unit of shard-then-merge execution. Zero-copy: each
+    /// shard shares the parent's `Arc<Block>`s. Shard `j` takes blocks
+    /// `[j·B/n, (j+1)·B/n)`, so every block lands in exactly one shard (in
+    /// order) and shards may be empty when `n` exceeds the block count.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn shard(&self, n: usize) -> Vec<Table> {
+        assert!(n > 0, "shard count must be positive");
+        let len = self.blocks.len();
+        (0..n)
+            .map(|j| {
+                let lo = j * len / n;
+                let hi = (j + 1) * len / n;
+                Table::from_blocks(
+                    format!("{}__shard_{j}", self.name),
+                    Arc::clone(&self.schema),
+                    self.blocks[lo..hi].to_vec(),
+                    self.block_capacity,
+                )
+            })
+            .collect()
+    }
+
+    /// The rows `from_row..` as a new table — the *delta* view incremental
+    /// synopsis maintenance folds in after an append. Whole trailing blocks
+    /// are shared zero-copy; if `from_row` cuts a block, that block's tail
+    /// rows are copied into a fresh partial block.
+    ///
+    /// # Panics
+    /// Panics if `from_row > row_count()`.
+    pub fn tail(&self, from_row: usize) -> Table {
+        assert!(
+            from_row <= self.row_count,
+            "tail start {from_row} out of bounds (rows {})",
+            self.row_count
+        );
+        let name = format!("{}__tail", self.name);
+        if from_row == self.row_count {
+            return Table::from_blocks(name, Arc::clone(&self.schema), vec![], self.block_capacity);
+        }
+        let (b, r) = self.locate_row(from_row);
+        let mut blocks = Vec::with_capacity(self.blocks.len() - b);
+        if r == 0 {
+            blocks.extend(self.blocks[b..].iter().cloned());
+        } else {
+            let src = &self.blocks[b];
+            let mut partial = Block::with_capacity(Arc::clone(&self.schema), src.len() - r);
+            for i in r..src.len() {
+                partial.gather_row(src, i);
+            }
+            blocks.push(Arc::new(partial));
+            blocks.extend(self.blocks[b + 1..].iter().cloned());
+        }
+        Table::from_blocks(name, Arc::clone(&self.schema), blocks, self.block_capacity)
+    }
+
     /// Approximate in-memory footprint in bytes (data vectors only).
     pub fn approx_bytes(&self) -> usize {
         let mut total = 0;
@@ -365,6 +423,46 @@ mod tests {
         // Clones share the cache.
         let t2 = t.clone();
         assert!(std::ptr::eq(t2.zone(1), t.zone(1)));
+    }
+
+    #[test]
+    fn shard_partitions_blocks_in_order() {
+        let t = build(20, 4); // 5 blocks
+        for n in [1, 2, 4, 8] {
+            let shards = t.shard(n);
+            assert_eq!(shards.len(), n, "n={n}");
+            let total: usize = shards.iter().map(Table::row_count).sum();
+            assert_eq!(total, 20, "n={n}");
+            // Rows appear in original order across the shard sequence.
+            let mut seen = Vec::new();
+            for s in &shards {
+                for i in 0..s.row_count() {
+                    seen.push(s.row(i)[0].clone());
+                }
+            }
+            let expect: Vec<Value> = (0..20).map(|i| Value::Int64(i as i64)).collect();
+            assert_eq!(seen, expect, "n={n}");
+        }
+        // Shards share block Arcs with the parent (zero-copy).
+        let shards = t.shard(2);
+        assert!(Arc::ptr_eq(shards[0].block(0), t.block(0)));
+    }
+
+    #[test]
+    fn tail_returns_delta_rows() {
+        let t = build(10, 4); // blocks: 4 + 4 + 2
+                              // Block-aligned tail is zero-copy.
+        let aligned = t.tail(8);
+        assert_eq!(aligned.row_count(), 2);
+        assert!(Arc::ptr_eq(aligned.block(0), t.block(2)));
+        // Mid-block tail copies the cut block's remainder.
+        let mid = t.tail(6);
+        assert_eq!(mid.row_count(), 4);
+        assert_eq!(mid.row(0)[0], Value::Int64(6));
+        assert_eq!(mid.row(3)[0], Value::Int64(9));
+        // Degenerate cases.
+        assert_eq!(t.tail(10).row_count(), 0);
+        assert_eq!(t.tail(0).row_count(), 10);
     }
 
     #[test]

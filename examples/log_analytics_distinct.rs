@@ -111,7 +111,7 @@ fn main() {
             target.insert_hashed(aqp_expr::stable_hash64(&col.get(i)));
         }
     }
-    left.merge(&right);
+    left.merge(&right).expect("same precision");
     println!(
         "merged shard sketches     : {:>12.0}  (same estimate as the single-pass build: {})",
         left.estimate(),

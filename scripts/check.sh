@@ -59,6 +59,12 @@ done
 cargo test -q -p aqp-obs
 cargo test -q
 
+# Merge bench: partial decode+fold cost, per-synopsis wire size, and the
+# maintain-vs-rebuild gate (incremental maintenance must beat a rebuild
+# by >= 5x on a 1% append). Runs before bench_smoke so the freshly
+# emitted BENCH_merge.json is shape-checked along with the rest.
+cargo run -q --release -p aqp-bench --bin bench_merge
+
 # Bench smoke: tiny-row kernel-vs-scalar equivalence at threads=1 plus
 # shape validation of every BENCH_*.json report — seconds, not the
 # minutes a full Criterion run costs.

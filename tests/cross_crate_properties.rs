@@ -86,7 +86,7 @@ proptest! {
             }
             *truth.entry(item).or_insert(0u64) += 1;
         }
-        left.merge(&right);
+        left.merge(&right).unwrap();
         prop_assert_eq!(&left, &whole);
         for (&item, &count) in &truth {
             prop_assert!(whole.estimate(&item.to_le_bytes()) >= count);
@@ -110,12 +110,12 @@ proptest! {
         let ha = sketch_of(&a);
         let hb = sketch_of(&b);
         let mut ab = ha.clone();
-        ab.merge(&hb);
+        ab.merge(&hb).unwrap();
         let mut ba = hb.clone();
-        ba.merge(&ha);
+        ba.merge(&ha).unwrap();
         prop_assert_eq!(&ab, &ba);
         let mut self_merge = ha.clone();
-        self_merge.merge(&ha);
+        self_merge.merge(&ha).unwrap();
         prop_assert_eq!(&self_merge, &ha);
     }
 
