@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-/// A stable lint code (`A001`–`A013`). The discriminant order is the
+/// A stable lint code (`A001`–`A014`). The discriminant order is the
 /// registry order; new codes append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LintCode {
@@ -49,6 +49,11 @@ pub enum LintCode {
     /// The best statically attainable answer is a point estimate — no
     /// error interval will be carried.
     A013PointEstimateOnly,
+    /// The session's accuracy auditor quarantined a technique: its
+    /// windowed observed coverage fell below the configured floor and it
+    /// will not be routed to until coverage recovers (or its synopsis is
+    /// maintained).
+    A014TechniqueQuarantined,
 }
 
 impl LintCode {
@@ -68,6 +73,7 @@ impl LintCode {
             Self::A011SelectivePredicateRisk => "A011",
             Self::A012SampledJoinPrecondition => "A012",
             Self::A013PointEstimateOnly => "A013",
+            Self::A014TechniqueQuarantined => "A014",
         }
     }
 
@@ -87,6 +93,7 @@ impl LintCode {
             Self::A011SelectivePredicateRisk => "selective predicate risks pilot starvation",
             Self::A012SampledJoinPrecondition => "sampled join lacks a universe-sampling key",
             Self::A013PointEstimateOnly => "best attainable guarantee is a point estimate",
+            Self::A014TechniqueQuarantined => "technique quarantined by accuracy audits",
         }
     }
 
@@ -139,11 +146,15 @@ impl LintCode {
             Self::A013PointEstimateOnly => {
                 "middleware rewrites buy generality by giving up error guarantees"
             }
+            Self::A014TechniqueQuarantined => {
+                "AQP guarantees are conditional: when audited coverage falls below the \
+                 promise, routing must stop trusting the technique until it is repaired"
+            }
         }
     }
 
     /// Every code, in registry order.
-    pub fn all() -> [LintCode; 13] {
+    pub fn all() -> [LintCode; 14] {
         [
             Self::A001NonClosedAggregate,
             Self::A002UnsupportedShape,
@@ -158,6 +169,7 @@ impl LintCode {
             Self::A011SelectivePredicateRisk,
             Self::A012SampledJoinPrecondition,
             Self::A013PointEstimateOnly,
+            Self::A014TechniqueQuarantined,
         ]
     }
 }

@@ -47,6 +47,20 @@ pub struct SynopsisMeta {
     pub staleness: Option<f64>,
 }
 
+/// One active quarantine, as the analyzer sees it. The session derives
+/// these from its accuracy scoreboard; like [`SynopsisMeta`] they are
+/// session metadata the analyzer folds in so predicted and enforced
+/// decline reasons compare `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineMeta {
+    /// The quarantined technique.
+    pub technique: crate::TechniqueKind,
+    /// Observed coverage over the audit window, in basis points.
+    pub coverage_bp: u32,
+    /// The configured coverage floor, in basis points.
+    pub floor_bp: u32,
+}
+
 /// Everything [`crate::lint_plan`] consults besides the plan itself.
 /// Metadata-only by contract — analysis must never touch base-table data.
 #[derive(Debug, Clone)]
@@ -55,6 +69,8 @@ pub struct LintContext<'a> {
     pub catalog: &'a Catalog,
     /// Known offline synopses.
     pub synopses: Vec<SynopsisMeta>,
+    /// Techniques currently quarantined by the accuracy auditor.
+    pub quarantines: Vec<QuarantineMeta>,
     /// Policy thresholds.
     pub policy: LintPolicy,
 }
@@ -65,6 +81,7 @@ impl<'a> LintContext<'a> {
         Self {
             catalog,
             synopses: Vec::new(),
+            quarantines: Vec::new(),
             policy: LintPolicy::default(),
         }
     }
@@ -72,6 +89,12 @@ impl<'a> LintContext<'a> {
     /// Adds one synopsis' metadata.
     pub fn with_synopsis(mut self, meta: SynopsisMeta) -> Self {
         self.synopses.push(meta);
+        self
+    }
+
+    /// Adds one active quarantine.
+    pub fn with_quarantine(mut self, meta: QuarantineMeta) -> Self {
+        self.quarantines.push(meta);
         self
     }
 
@@ -84,5 +107,10 @@ impl<'a> LintContext<'a> {
     /// The synopsis covering `table`, if any.
     pub fn synopsis_for(&self, table: &str) -> Option<&SynopsisMeta> {
         self.synopses.iter().find(|s| s.table == table)
+    }
+
+    /// The active quarantine for `technique`, if any.
+    pub fn quarantine_for(&self, technique: crate::TechniqueKind) -> Option<&QuarantineMeta> {
+        self.quarantines.iter().find(|q| q.technique == technique)
     }
 }

@@ -10,7 +10,7 @@
 //!   [`GuaranteeClass`] or the exact [`DeclineReason`] the family's runtime
 //!   eligibility probe would return, and
 //! - a stream of structured [`Diagnostic`]s with stable codes
-//!   ([`LintCode`] `A001`–`A013`), severities, offending-node paths, and
+//!   ([`LintCode`] `A001`–`A014`), severities, offending-node paths, and
 //!   machine-readable [`Suggestion`]s.
 //!
 //! ## The consistency contract
@@ -57,7 +57,7 @@ mod technique;
 
 pub use analysis::{Analysis, GuaranteeClass, TechniqueVerdict};
 pub use code::{LintCode, Severity};
-pub use context::{LintContext, LintPolicy, SynopsisMeta};
+pub use context::{LintContext, LintPolicy, QuarantineMeta, SynopsisMeta};
 pub use diag::{Diagnostic, Suggestion};
 pub use query::{AggQuery, AggSpec, JoinSpec, LinearAgg};
 pub use technique::{DeclineReason, Guarantee, TechniqueKind, MIN_SAMPLING_BLOCKS};

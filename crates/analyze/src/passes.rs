@@ -40,6 +40,36 @@ fn eligible(kind: TechniqueKind, guarantee: GuaranteeClass) -> TechniqueVerdict 
     }
 }
 
+/// Shared head of every family pass: a technique the accuracy auditor
+/// quarantined is blocked before any shape or catalog check runs — the
+/// session will not route to it no matter how eligible it looks.
+fn quarantine_check(
+    kind: TechniqueKind,
+    ctx: &LintContext,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<TechniqueVerdict> {
+    let q = ctx.quarantine_for(kind)?;
+    let reason = DeclineReason::Quarantined {
+        coverage_bp: q.coverage_bp,
+        floor_bp: q.floor_bp,
+    };
+    diags.push(Diagnostic {
+        code: LintCode::A014TechniqueQuarantined,
+        severity: Severity::Warn,
+        technique: Some(kind),
+        path: "session".to_string(),
+        message: format!(
+            "{kind} is quarantined: audited coverage {:.2} fell below the floor {:.2}; \
+             it recovers when coverage does (or after synopsis maintenance)",
+            q.coverage_bp as f64 / 10_000.0,
+            q.floor_bp as f64 / 10_000.0
+        ),
+        suggestion: None,
+        predicts: Some(reason.clone()),
+    });
+    Some(blocked(kind, reason))
+}
+
 /// Runs every pass over `plan` (pre-normalized as `query` when it is in
 /// shape) and assembles the [`Analysis`].
 pub(crate) fn run(plan: &LogicalPlan, query: Option<&AggQuery>, ctx: &LintContext) -> Analysis {
@@ -73,7 +103,7 @@ pub(crate) fn run(plan: &LogicalPlan, query: Option<&AggQuery>, ctx: &LintContex
         offline_pass(q, ctx, &mut diags),
         sampling_pass(q, ctx, &mut diags),
         progressive_pass(q, ctx, &mut diags),
-        rewrite_pass(q, ctx),
+        rewrite_pass(q, ctx, &mut diags),
         exact_pass(&missing),
     ];
     risk_pass(q, &verdicts, ctx, &mut diags);
@@ -222,6 +252,9 @@ fn stratify_column(q: &AggQuery) -> Option<String> {
 /// surfaces as `MissingTable`, exactly as `OfflineStore::staleness` errors).
 fn offline_pass(q: &AggQuery, ctx: &LintContext, diags: &mut Vec<Diagnostic>) -> TechniqueVerdict {
     let kind = TechniqueKind::OfflineSynopsis;
+    if let Some(v) = quarantine_check(kind, ctx, diags) {
+        return v;
+    }
     if !q.joins.is_empty() {
         // One A003 covers both single-relation families (offline + OLA);
         // both verdicts still carry the exact predicted reason.
@@ -322,6 +355,9 @@ fn offline_pass(q: &AggQuery, ctx: &LintContext, diags: &mut Vec<Diagnostic>) ->
 /// the pilot to estimate spread.
 fn sampling_pass(q: &AggQuery, ctx: &LintContext, diags: &mut Vec<Diagnostic>) -> TechniqueVerdict {
     let kind = TechniqueKind::OnlineSampling;
+    if let Some(v) = quarantine_check(kind, ctx, diags) {
+        return v;
+    }
     let Ok(fact) = ctx.catalog.get(&q.fact_table) else {
         return blocked(
             kind,
@@ -362,6 +398,9 @@ fn progressive_pass(
     diags: &mut Vec<Diagnostic>,
 ) -> TechniqueVerdict {
     let kind = TechniqueKind::OnlineAggregation;
+    if let Some(v) = quarantine_check(kind, ctx, diags) {
+        return v;
+    }
     if !q.joins.is_empty() {
         // A003 was already emitted by the offline pass.
         return blocked(kind, DeclineReason::JoinsUnsupported);
@@ -432,8 +471,11 @@ fn progressive_pass(
 
 /// Mirrors `RewriteTechnique::eligibility`: the rewrite takes every
 /// normalized shape; the only static gate is the fact table existing.
-fn rewrite_pass(q: &AggQuery, ctx: &LintContext) -> TechniqueVerdict {
+fn rewrite_pass(q: &AggQuery, ctx: &LintContext, diags: &mut Vec<Diagnostic>) -> TechniqueVerdict {
     let kind = TechniqueKind::MiddlewareRewrite;
+    if let Some(v) = quarantine_check(kind, ctx, diags) {
+        return v;
+    }
     if ctx.catalog.get(&q.fact_table).is_err() {
         return blocked(
             kind,

@@ -133,6 +133,16 @@ pub enum DeclineReason {
         /// The missing table.
         table: String,
     },
+    /// The session's accuracy auditor quarantined the technique: its
+    /// windowed observed coverage fell below the configured floor, so
+    /// the guarantee it advertises is not the guarantee it delivers.
+    Quarantined {
+        /// Observed coverage over the audit window, in basis points
+        /// (integer so predicted and probed reasons compare `==`).
+        coverage_bp: u32,
+        /// The configured coverage floor, in basis points.
+        floor_bp: u32,
+    },
 }
 
 impl DeclineReason {
@@ -153,6 +163,7 @@ impl DeclineReason {
             Self::RateAboveCap { .. } => "rate-above-cap",
             Self::InsufficientSupport { .. } => "insufficient-support",
             Self::MissingTable { .. } => "missing-table",
+            Self::Quarantined { .. } => "quarantined",
         }
     }
 
@@ -174,7 +185,10 @@ impl DeclineReason {
             | Self::SynopsisMismatch { .. }
             | Self::StaleSynopsis { .. }
             | Self::TableTooSmall { .. }
-            | Self::MissingTable { .. } => true,
+            | Self::MissingTable { .. }
+            // Quarantine is session metadata fed into the lint context,
+            // so the analyzer predicts it exactly like synopsis state.
+            | Self::Quarantined { .. } => true,
             Self::EmptyPilot | Self::RateAboveCap { .. } | Self::InsufficientSupport { .. } => {
                 false
             }
@@ -214,6 +228,15 @@ impl fmt::Display for DeclineReason {
                 write!(f, "sample support {rows} rows < minimum {min_rows}")
             }
             Self::MissingTable { table } => write!(f, "table `{table}` not found"),
+            Self::Quarantined {
+                coverage_bp,
+                floor_bp,
+            } => write!(
+                f,
+                "quarantined by accuracy audits (observed coverage {:.2} < floor {:.2})",
+                *coverage_bp as f64 / 10_000.0,
+                *floor_bp as f64 / 10_000.0
+            ),
         }
     }
 }
@@ -288,5 +311,21 @@ mod tests {
             min_rows: 30
         }
         .is_static());
+        assert!(DeclineReason::Quarantined {
+            coverage_bp: 5_000,
+            floor_bp: 8_000
+        }
+        .is_static());
+    }
+
+    #[test]
+    fn quarantined_renders_and_tags() {
+        let r = DeclineReason::Quarantined {
+            coverage_bp: 5_000,
+            floor_bp: 8_000,
+        };
+        assert_eq!(r.tag(), "quarantined");
+        assert!(r.to_string().contains("0.50"), "{r}");
+        assert!(r.to_string().contains("0.80"), "{r}");
     }
 }

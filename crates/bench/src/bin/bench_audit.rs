@@ -1,0 +1,158 @@
+//! Benchmarks the accuracy-audit subsystem and emits `BENCH_audit.json`
+//! at the workspace root:
+//!
+//! * **audit overhead** — added wall time of a routed workload at audit
+//!   rates of 1% and 5% versus the same workload with auditing off. An
+//!   audit re-executes the query exactly, so the overhead is the sampled
+//!   fraction times the approximation's speedup — the error budget the
+//!   operator spends to *know* the error budget holds;
+//! * **scoreboard read cost** — one `AqpSession::accuracy()` snapshot,
+//!   the per-scrape price of the coverage table.
+//!
+//! Exits non-zero if the 1%-rate overhead exceeds 5% — the acceptance
+//! bar for always-on auditing in production.
+
+use std::time::{Duration, Instant};
+
+use aqp_bench::timed_median;
+use aqp_core::{AqpSession, AuditConfig, ErrorSpec, SessionConfig};
+use aqp_engine::{AggExpr, LogicalPlan, Query};
+use aqp_expr::col;
+use aqp_storage::Catalog;
+use aqp_workload::uniform_table;
+
+const ROWS: usize = 100_000;
+const QUERIES: u64 = 600;
+const REPS: usize = 3;
+const RATES: [f64; 3] = [0.0, 0.01, 0.05];
+const MAX_OVERHEAD_PCT_AT_1PCT: f64 = 5.0;
+
+fn main() {
+    let catalog = Catalog::new();
+    catalog.register(uniform_table("t", ROWS, 256, 7)).unwrap();
+    let plan = sum_plan();
+    let spec = ErrorSpec::new(0.1, 0.95);
+
+    let mut walls = Vec::with_capacity(RATES.len());
+    let mut audit_counts = Vec::with_capacity(RATES.len());
+    for &rate in &RATES {
+        let (wall, audits) = run_workload(&catalog, &plan, &spec, rate);
+        walls.push(wall);
+        audit_counts.push(audits);
+        println!(
+            "bench_audit: rate {rate:>4}  wall {:>8.2} ms  audits {audits}/{QUERIES}",
+            wall.as_secs_f64() * 1e3
+        );
+    }
+
+    let base = walls[0].as_secs_f64();
+    let overheads: Vec<f64> = walls
+        .iter()
+        .map(|w| (w.as_secs_f64() / base - 1.0).max(0.0) * 100.0)
+        .collect();
+    println!(
+        "bench_audit: overhead  1% rate {:+.2}%  5% rate {:+.2}%",
+        overheads[1], overheads[2]
+    );
+
+    let read_ns = scoreboard_read_cost(&catalog, &plan, &spec);
+    println!("bench_audit: scoreboard snapshot {read_ns:.0} ns/read");
+
+    let rate_rows: Vec<String> = RATES
+        .iter()
+        .zip(&walls)
+        .zip(&audit_counts)
+        .zip(&overheads)
+        .map(|(((rate, wall), audits), overhead)| {
+            format!(
+                "{{\"rate\": {rate}, \"wall_ms\": {:.3}, \"audits\": {audits}, \
+                 \"overhead_pct\": {overhead:.2}}}",
+                wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"audit\",\n  \"rows\": {ROWS},\n  \"queries\": {QUERIES},\n  \
+         \"rates\": [\n    {}\n  ],\n  \
+         \"overhead_pct_at_1pct\": {:.2},\n  \
+         \"scoreboard_read_ns\": {read_ns:.0},\n  \
+         \"acceptance\": \"overhead_pct_at_1pct <= {MAX_OVERHEAD_PCT_AT_1PCT}\"\n}}\n",
+        rate_rows.join(",\n    "),
+        overheads[1],
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    std::fs::write(path, json).expect("write audit bench report");
+    eprintln!("wrote {path}");
+
+    if overheads[1] > MAX_OVERHEAD_PCT_AT_1PCT {
+        eprintln!(
+            "bench_audit: 1%-rate overhead {:.2}% is above the {MAX_OVERHEAD_PCT_AT_1PCT}% bar",
+            overheads[1]
+        );
+        std::process::exit(1);
+    }
+    println!("bench_audit: all checks passed");
+}
+
+fn sum_plan() -> LogicalPlan {
+    Query::scan("t")
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build()
+}
+
+/// Median wall over `REPS` runs of the routed workload at one audit rate,
+/// plus the (deterministic) number of queries the sampler picked.
+fn run_workload(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    spec: &ErrorSpec,
+    rate: f64,
+) -> (Duration, u64) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut audits = 0u64;
+    for _ in 0..REPS {
+        let config = SessionConfig {
+            audit: AuditConfig {
+                rate,
+                seed: 0xBE9C,
+                ..AuditConfig::default()
+            },
+            ..SessionConfig::default()
+        };
+        let session = AqpSession::with_config(catalog, config);
+        audits = 0;
+        let start = Instant::now();
+        for seed in 0..QUERIES {
+            let ans = session.answer(plan, spec, seed).expect("routed answer");
+            if ans.report.audit.is_some() {
+                audits += 1;
+            }
+        }
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[REPS / 2], audits)
+}
+
+/// Cost of one scoreboard snapshot on a session warmed with a full
+/// window of audits.
+fn scoreboard_read_cost(catalog: &Catalog, plan: &LogicalPlan, spec: &ErrorSpec) -> f64 {
+    let config = SessionConfig {
+        audit: AuditConfig {
+            rate: 1.0,
+            ..AuditConfig::default()
+        },
+        ..SessionConfig::default()
+    };
+    let session = AqpSession::with_config(catalog, config);
+    for seed in 0..64u64 {
+        session.answer(plan, spec, seed).expect("warmup answer");
+    }
+    const READS: u32 = 1_024;
+    let (_, d) = timed_median(9, || {
+        for _ in 0..READS {
+            std::hint::black_box(session.accuracy());
+        }
+    });
+    d.as_nanos() as f64 / f64::from(READS)
+}

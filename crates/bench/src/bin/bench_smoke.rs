@@ -51,6 +51,16 @@ const REQUIRED_FIELDS: &[(&str, &[&str])] = &[
             "maintain_vs_rebuild_speedup",
         ],
     ),
+    (
+        "BENCH_audit.json",
+        &[
+            "bench",
+            "queries",
+            "rates",
+            "overhead_pct_at_1pct",
+            "scoreboard_read_ns",
+        ],
+    ),
 ];
 
 fn main() {

@@ -157,6 +157,17 @@ pub struct ExecutionReport {
     /// `trace`): the lint stream annotates how the answer was produced,
     /// it is not part of the answer.
     pub lints: Option<Arc<aqp_analyze::Analysis>>,
+    /// The ground-truth audit of *this* answer, when the session's seeded
+    /// audit sampler picked it (see [`crate::audit::AuditConfig`]); `None`
+    /// otherwise. Excluded from equality (like `trace`): the audit grades
+    /// the answer, it is not part of it — and its wall cost is likewise
+    /// excluded from `wall`. Boxed to keep the un-audited answer (and the
+    /// router's `Attempt` enum wrapping it) small.
+    pub audit: Option<Box<crate::audit::AuditOutcome>>,
+    /// The session's per-technique accuracy scoreboard at answer time,
+    /// when any audits have run; `None` otherwise. Excluded from equality
+    /// and boxed for the same reasons as `audit`.
+    pub accuracy: Option<Box<aqp_obs::scoreboard::ScoreboardSnapshot>>,
 }
 
 impl PartialEq for ExecutionReport {
@@ -236,6 +247,35 @@ impl ExecutionReport {
             let _ = writeln!(out, "lints:");
             for line in lints.render_table().lines() {
                 let _ = writeln!(out, "  {line}");
+            }
+        }
+        if let Some(audit) = &self.audit {
+            let verdict = if audit.ok { "ok" } else { "FAILED" };
+            let nominal = match audit.nominal_coverage {
+                Some(n) => format!("{n:.2}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "audit: {verdict}  max_rel_err={:.4}  nominal={nominal}  \
+                 groups={}/{} present  cost={}",
+                audit.max_rel_err,
+                audit.groups_checked - audit.groups_missing,
+                audit.groups_checked,
+                aqp_obs::fmt_ns(audit.wall.as_nanos() as u64),
+            );
+        }
+        if let Some(accuracy) = &self.accuracy {
+            let table = accuracy.render_table();
+            if !table.is_empty() {
+                let _ = writeln!(out, "accuracy:");
+                for line in table.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+                let quarantined = accuracy.quarantined();
+                if !quarantined.is_empty() {
+                    let _ = writeln!(out, "  quarantined: {}", quarantined.join(", "));
+                }
             }
         }
         match &self.trace {
@@ -387,6 +427,8 @@ mod tests {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         }
     }
@@ -437,6 +479,8 @@ mod tests {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         };
         assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
@@ -454,6 +498,8 @@ mod tests {
             routing: None,
             trace: None,
             lints: None,
+            audit: None,
+            accuracy: None,
         };
         let a = assemble_answer(
             vec!["g".into()],

@@ -19,6 +19,10 @@
 //!   intervals, plus ripple joins.
 //! * [`answer`] — approximate answers with per-group intervals and cost
 //!   accounting.
+//! * [`audit`] — ground-truth accuracy auditing: a seeded sampler picks
+//!   approximate answers to re-execute exactly; verdicts feed the
+//!   session's per-technique coverage scoreboard, whose windowed
+//!   coverage quarantines techniques that break their promises.
 //! * [`rewrite`] — VerdictDB-style middleware: the same queries answered
 //!   by rewriting over a weighted sample and running the *unmodified*
 //!   exact engine ([`rewrite::answer_via_rewrite`]).
@@ -74,6 +78,7 @@
 
 pub mod aggquery;
 pub mod answer;
+pub mod audit;
 pub mod error;
 pub mod evaluator;
 pub mod offline;
@@ -91,6 +96,7 @@ pub use answer::{
     ApproximateAnswer, CandidateDecision, CandidateOutcome, ExecutionPath, ExecutionReport,
     GroupResult, RoutingDecision,
 };
+pub use audit::{AuditConfig, AuditOutcome};
 pub use error::AqpError;
 pub use offline::{OfflineStore, OfflineTechnique};
 pub use ola::{OlaTechnique, OnlineAggregator, RippleJoin};

@@ -67,7 +67,10 @@ fn record_build_cost(span: &mut aqp_obs::Span, target: String, start: Instant) {
         span.set_detail(target);
     }
     aqp_obs::metrics::global()
-        .histogram("aqp_synopsis_build_us", aqp_obs::metrics::LATENCY_US_BOUNDS)
+        .histogram(
+            aqp_obs::names::SYNOPSIS_BUILD_US,
+            aqp_obs::metrics::LATENCY_US_BOUNDS,
+        )
         .observe(start.elapsed().as_secs_f64() * 1e6);
 }
 
@@ -76,6 +79,10 @@ pub struct OfflineStore {
     stratified: RwLock<HashMap<String, StratifiedSynopsis>>,
     distinct: RwLock<HashMap<(String, String), DistinctSynopsis>>,
     quantiles: RwLock<HashMap<(String, String), QuantileSynopsis>>,
+    /// Ground-truth audits failed per table since the last maintenance —
+    /// the drift signal staleness alone cannot see (appends that *shift
+    /// the distribution* without moving the row count much).
+    failed_audits: RwLock<HashMap<String, u64>>,
     /// Worker threads for synopsis builds. HLL registers merge exactly
     /// (per-register max is order-independent), so parallel builds are
     /// identical to serial ones at any thread count. GK quantiles builds
@@ -103,6 +110,7 @@ impl OfflineStore {
             stratified: RwLock::new(HashMap::new()),
             distinct: RwLock::new(HashMap::new()),
             quantiles: RwLock::new(HashMap::new()),
+            failed_audits: RwLock::new(HashMap::new()),
             threads: threads.max(1),
         }
     }
@@ -270,11 +278,13 @@ impl OfflineStore {
                 detail: format!("delta sample failed to merge: {e}"),
             })?;
         syn.built_on_rows = t.row_count() as u64;
+        drop(store);
+        self.reset_drift(table);
         if span.is_recording() {
             span.set_rows(delta_rows);
         }
         aqp_obs::metrics::global()
-            .counter("aqp_synopsis_maintained_total")
+            .counter(aqp_obs::names::SYNOPSIS_MAINTAINED_TOTAL)
             .inc(1);
         Ok(delta_rows)
     }
@@ -320,7 +330,7 @@ impl OfflineStore {
             span.set_rows(delta_rows);
         }
         aqp_obs::metrics::global()
-            .counter("aqp_synopsis_maintained_total")
+            .counter(aqp_obs::names::SYNOPSIS_MAINTAINED_TOTAL)
             .inc(1);
         Ok(delta_rows)
     }
@@ -364,7 +374,7 @@ impl OfflineStore {
             span.set_rows(delta_rows);
         }
         aqp_obs::metrics::global()
-            .counter("aqp_synopsis_maintained_total")
+            .counter(aqp_obs::names::SYNOPSIS_MAINTAINED_TOTAL)
             .inc(1);
         Ok(delta_rows)
     }
@@ -406,11 +416,19 @@ impl OfflineStore {
             self.maintain_quantiles(catalog, table, &col)?;
             maintained += 1;
         }
+        // Even when only sketch synopses exist for the table, maintenance
+        // repaired what the audits graded — clear the drift signal.
+        self.reset_drift(table);
         Ok(maintained)
     }
 
     /// Relative divergence between the base table's current row count and
     /// the row count the stratified synopsis was built on. Zero = fresh.
+    ///
+    /// Every call refreshes the per-table drift gauges
+    /// (`aqp_synopsis_staleness`, `aqp_synopsis_rows_at_build`,
+    /// `aqp_synopsis_rows_appended`) — the session consults staleness on
+    /// every routed query, so the gauges track ingest for free.
     pub fn staleness(&self, catalog: &Catalog, table: &str) -> Result<f64, AqpError> {
         let current = catalog.get(table)?.row_count() as f64;
         let store = self.stratified.read();
@@ -418,7 +436,50 @@ impl OfflineStore {
             detail: format!("no stratified synopsis for {table}"),
         })?;
         let built = syn.built_on_rows as f64;
-        Ok((current - built).abs() / built.max(1.0))
+        let staleness = (current - built).abs() / built.max(1.0);
+        use aqp_obs::names;
+        let m = aqp_obs::metrics::global();
+        m.gauge_labeled(names::SYNOPSIS_STALENESS, names::TABLE_LABEL, table)
+            .set(staleness);
+        m.gauge_labeled(names::SYNOPSIS_ROWS_AT_BUILD, names::TABLE_LABEL, table)
+            .set(built);
+        m.gauge_labeled(names::SYNOPSIS_ROWS_APPENDED, names::TABLE_LABEL, table)
+            .set(current - built);
+        Ok(staleness)
+    }
+
+    /// Records that a ground-truth audit of an offline answer over `table`
+    /// failed — distributional drift the row-count staleness gauge cannot
+    /// see. Resets on maintenance.
+    pub fn note_failed_audit(&self, table: &str) {
+        let mut map = self.failed_audits.write();
+        let count = map.entry(table.to_string()).or_insert(0);
+        *count += 1;
+        aqp_obs::metrics::global()
+            .gauge_labeled(
+                aqp_obs::names::SYNOPSIS_FAILED_AUDITS,
+                aqp_obs::names::TABLE_LABEL,
+                table,
+            )
+            .set(*count as f64);
+    }
+
+    /// Audits failed against `table`'s synopses since the last maintain.
+    pub fn failed_audits(&self, table: &str) -> u64 {
+        self.failed_audits.read().get(table).copied().unwrap_or(0)
+    }
+
+    /// Maintenance repaired the synopsis: clear the failed-audit drift
+    /// signal for `table` and zero its gauge.
+    fn reset_drift(&self, table: &str) {
+        self.failed_audits.write().remove(table);
+        aqp_obs::metrics::global()
+            .gauge_labeled(
+                aqp_obs::names::SYNOPSIS_FAILED_AUDITS,
+                aqp_obs::names::TABLE_LABEL,
+                table,
+            )
+            .set(0.0);
     }
 
     /// Approximate `COUNT(DISTINCT column)` from the HLL synopsis.
@@ -588,6 +649,8 @@ impl OfflineStore {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         ))
     }

@@ -304,6 +304,8 @@ impl Technique for OlaTechnique<'_> {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         )))
     }

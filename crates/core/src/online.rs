@@ -500,6 +500,8 @@ impl<'a> OnlineAqp<'a> {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         )))
     }

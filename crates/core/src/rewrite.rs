@@ -249,6 +249,8 @@ impl Technique for RewriteTechnique<'_> {
                 routing: None,
                 trace: None,
                 lints: None,
+                audit: None,
+                accuracy: None,
             },
         )))
     }

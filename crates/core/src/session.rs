@@ -27,16 +27,19 @@
 //! deliberation is recorded in the answer's
 //! [`RoutingDecision`](crate::answer::RoutingDecision).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aqp_engine::{ExecOptions, LogicalPlan};
+use aqp_obs::scoreboard::{Scoreboard, ScoreboardConfig, ScoreboardSnapshot, Transition};
 use aqp_storage::Catalog;
 
-use aqp_analyze::{Analysis, LintContext, LintPolicy, SynopsisMeta};
+use aqp_analyze::{Analysis, LintContext, LintPolicy, QuarantineMeta, SynopsisMeta};
 
 use crate::aggquery::AggQuery;
 use crate::answer::{ApproximateAnswer, CandidateDecision, CandidateOutcome, RoutingDecision};
+use crate::audit::{self, AuditConfig};
 use crate::error::AqpError;
 use crate::offline::{OfflineStore, OfflineTechnique};
 use crate::ola::OlaTechnique;
@@ -75,25 +78,30 @@ fn attempt_span_name(kind: TechniqueKind) -> &'static str {
 /// that answered. Always on — sharded counters cost nanoseconds next to a
 /// routed query.
 fn count_decision(decision: &RoutingDecision) {
+    use aqp_obs::names;
     let m = aqp_obs::metrics::global();
     for c in &decision.candidates {
         match &c.outcome {
             CandidateOutcome::Ineligible(r) | CandidateOutcome::DeclinedAtRuntime(r) => {
-                m.counter_labeled("aqp_decline_total", "reason", r.tag())
+                m.counter_labeled(names::DECLINE_TOTAL, names::DECLINE_REASON_LABEL, r.tag())
                     .inc(1);
             }
             CandidateOutcome::StaticallyIneligible(r) => {
                 // A skipped probe is still a decline for accounting, plus
                 // its own counter so the analyzer's savings are visible.
-                m.counter_labeled("aqp_decline_total", "reason", r.tag())
+                m.counter_labeled(names::DECLINE_TOTAL, names::DECLINE_REASON_LABEL, r.tag())
                     .inc(1);
-                m.counter("aqp_probes_skipped_total").inc(1);
+                m.counter(names::PROBES_SKIPPED_TOTAL).inc(1);
             }
             CandidateOutcome::Chosen | CandidateOutcome::NotReached => {}
         }
     }
-    m.counter_labeled("aqp_routed_total", "winner", decision.winner.name())
-        .inc(1);
+    m.counter_labeled(
+        names::ROUTED_TOTAL,
+        names::ROUTED_WINNER_LABEL,
+        decision.winner.name(),
+    )
+    .inc(1);
 }
 
 /// Closes the query root span, stamps the routed wall, and — when tracing
@@ -147,6 +155,9 @@ pub struct SessionConfig {
     pub rewrite_min_group_support: u64,
     /// Whether progressive online aggregation participates in routing.
     pub progressive: bool,
+    /// The ground-truth audit sampler and quarantine policy (disabled by
+    /// default: `rate` 0.0).
+    pub audit: AuditConfig,
 }
 
 impl Default for SessionConfig {
@@ -157,6 +168,7 @@ impl Default for SessionConfig {
             rewrite_rate: 0.05,
             rewrite_min_group_support: 30,
             progressive: true,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -167,6 +179,12 @@ pub struct AqpSession<'a> {
     catalog: &'a Catalog,
     offline: OfflineStore,
     config: SessionConfig,
+    /// Windowed per-technique audit scores; its quarantine verdicts feed
+    /// back into routing through [`AqpSession::lint_context`].
+    scoreboard: Scoreboard,
+    /// Serial number of approximate answers — the seeded audit sampler's
+    /// deterministic input.
+    audit_serial: AtomicU64,
 }
 
 impl<'a> AqpSession<'a> {
@@ -180,6 +198,12 @@ impl<'a> AqpSession<'a> {
         Self {
             catalog,
             offline: OfflineStore::new(),
+            scoreboard: Scoreboard::new(ScoreboardConfig {
+                window: config.audit.window,
+                coverage_floor: config.audit.coverage_floor,
+                min_audits: config.audit.min_audits,
+            }),
+            audit_serial: AtomicU64::new(0),
             config,
         }
     }
@@ -203,7 +227,23 @@ impl<'a> AqpSession<'a> {
     /// ([`OfflineStore::staleness`] = 0) without any base-table rescan of
     /// pre-existing rows.
     pub fn maintain_synopses(&self, table: &str, seed: u64) -> Result<usize, crate::AqpError> {
-        self.offline.maintain_all(self.catalog, table, seed)
+        let n = self.offline.maintain_all(self.catalog, table, seed)?;
+        // Audits of the replaced synopsis say nothing about the maintained
+        // one: clear the offline window, releasing any quarantine.
+        self.scoreboard.reset(TechniqueKind::OfflineSynopsis.name());
+        Ok(n)
+    }
+
+    /// The per-technique accuracy scoreboard built from ground-truth
+    /// audits (see [`SessionConfig::audit`]): observed vs nominal
+    /// coverage, error quantiles, and quarantine state per technique.
+    pub fn accuracy(&self) -> ScoreboardSnapshot {
+        self.scoreboard.snapshot()
+    }
+
+    /// Techniques currently quarantined by the accuracy auditor, by name.
+    pub fn quarantined(&self) -> Vec<String> {
+        self.scoreboard.quarantined()
     }
 
     /// The analyzer's view of this session: the catalog, the offline
@@ -222,6 +262,25 @@ impl<'a> AqpSession<'a> {
                 table,
                 stratified_on: column,
                 staleness,
+            });
+        }
+        // Active quarantines enter the context in basis points so the
+        // analyzer's predicted decline is `==` to the enforced one.
+        let floor_bp = (self.config.audit.coverage_floor * 10_000.0).round() as u32;
+        for row in self.scoreboard.snapshot().rows {
+            if !row.quarantined {
+                continue;
+            }
+            let Some(kind) = TechniqueKind::all()
+                .into_iter()
+                .find(|k| k.name() == row.technique)
+            else {
+                continue;
+            };
+            ctx = ctx.with_quarantine(QuarantineMeta {
+                technique: kind,
+                coverage_bp: (row.coverage.unwrap_or(0.0) * 10_000.0).round() as u32,
+                floor_bp,
             });
         }
         ctx
@@ -393,6 +452,7 @@ impl<'a> AqpSession<'a> {
             ans.report.routing = Some(decision);
             ans.report.lints = Some(analysis);
             attach_trace(&mut ans.report, root, wall_start);
+            self.attach_accuracy(&mut ans);
             return Ok(ans);
         };
         let techniques = self.techniques();
@@ -529,8 +589,73 @@ impl<'a> AqpSession<'a> {
         count_decision(&decision);
         ans.report.rows_scanned += declined_rows;
         ans.report.routing = Some(decision);
-        ans.report.lints = Some(analysis);
         attach_trace(&mut ans.report, root, wall_start);
+        // The audit runs after the trace and wall are sealed: its cost is
+        // observably its own (report.audit.wall, aqp_audit_wall_us), never
+        // billed to the answer.
+        self.maybe_audit(&query, &mut ans, spec, &analysis, winner);
+        ans.report.lints = Some(analysis);
+        self.attach_accuracy(&mut ans);
         Ok(ans)
+    }
+
+    /// Runs the seeded ground-truth audit when the sampler picks this
+    /// answer: re-executes exactly, grades the promises, records the
+    /// verdict in the scoreboard (possibly entering quarantine), and
+    /// mirrors failed offline audits into the synopsis drift monitors.
+    fn maybe_audit(
+        &self,
+        query: &AggQuery,
+        ans: &mut ApproximateAnswer,
+        spec: &ErrorSpec,
+        analysis: &Analysis,
+        winner: TechniqueKind,
+    ) {
+        let cfg = self.config.audit;
+        if winner == TechniqueKind::Exact || cfg.rate <= 0.0 {
+            return;
+        }
+        let serial = self.audit_serial.fetch_add(1, Ordering::Relaxed);
+        if !audit::should_audit(cfg.seed, serial, cfg.rate) {
+            return;
+        }
+        // The audit gets its own root span and its records are discarded:
+        // the exact re-execution's operator spans must not pollute the
+        // query's already-attached trace.
+        let audit_root = aqp_obs::root_span("audit");
+        let recording = audit_root.is_recording();
+        let trace = audit_root.ctx().trace;
+        let outcome =
+            audit::audit_answer(self.catalog, query, ans, spec, exec_opts(analysis), winner);
+        audit_root.finish();
+        if recording {
+            drop(aqp_obs::drain_trace(trace));
+        }
+        // An audit that itself errors grades nothing — the query already
+        // answered; don't fail it retroactively.
+        let Ok(outcome) = outcome else { return };
+        if !outcome.ok && winner == TechniqueKind::OfflineSynopsis {
+            self.offline.note_failed_audit(&query.fact_table);
+        }
+        let transition = self.scoreboard.record(winner.name(), outcome.observation());
+        if transition == Transition::Entered {
+            aqp_obs::metrics::global()
+                .counter_labeled(
+                    aqp_obs::names::QUARANTINED_TOTAL,
+                    aqp_obs::names::TECHNIQUE_LABEL,
+                    winner.name(),
+                )
+                .inc(1);
+        }
+        ans.report.audit = Some(Box::new(outcome));
+    }
+
+    /// Attaches the scoreboard snapshot to the report once any audits
+    /// have run, so `explain_analyze()` can render the accuracy table.
+    fn attach_accuracy(&self, ans: &mut ApproximateAnswer) {
+        let snapshot = self.scoreboard.snapshot();
+        if !snapshot.rows.is_empty() {
+            ans.report.accuracy = Some(Box::new(snapshot));
+        }
     }
 }

@@ -189,6 +189,8 @@ pub fn exact_answer_with(
             routing: None,
             trace: None,
             lints: None,
+            audit: None,
+            accuracy: None,
         },
     ))
 }

@@ -29,6 +29,7 @@
 
 pub mod metrics;
 pub mod names;
+pub mod scoreboard;
 pub mod timing;
 pub mod trace;
 

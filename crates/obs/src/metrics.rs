@@ -161,6 +161,41 @@ impl Histogram {
     }
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket holding the target rank, the standard
+    /// fixed-bucket estimator Prometheus' `histogram_quantile` uses. The
+    /// first bucket interpolates from a lower bound of 0; ranks landing
+    /// in the +Inf bucket clamp to the last finite bound (there is no
+    /// upper edge to interpolate toward). Returns `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            // Skip buckets with no mass so low quantiles land on the
+            // lower edge of the first occupied bucket.
+            if (cumulative as f64) < rank || *c == 0 {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // +Inf bucket: clamp to the last finite bound.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let below = (cumulative - c) as f64;
+            let within = (rank - below) / *c as f64;
+            return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+        }
+        self.bounds.last().copied()
+    }
+}
+
 /// Registry key: metric name plus at most one `key="value"` label pair
 /// (enough for e.g. per-`DeclineReason` counters).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -216,25 +251,57 @@ impl MetricsRegistry {
 
     /// Gets or registers the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        Arc::clone(
-            lock(&self.gauges)
-                .entry(MetricKey {
-                    name: name.to_string(),
-                    label: None,
-                })
-                .or_default(),
-        )
+        self.gauge_entry(MetricKey {
+            name: name.to_string(),
+            label: None,
+        })
+    }
+
+    /// Gets or registers the gauge `name{label_key="label_value"}`.
+    pub fn gauge_labeled(&self, name: &str, label_key: &str, label_value: &str) -> Arc<Gauge> {
+        self.gauge_entry(MetricKey {
+            name: name.to_string(),
+            label: Some((label_key.to_string(), label_value.to_string())),
+        })
+    }
+
+    fn gauge_entry(&self, key: MetricKey) -> Arc<Gauge> {
+        Arc::clone(lock(&self.gauges).entry(key).or_default())
     }
 
     /// Gets or registers the histogram `name` with the given finite
     /// bucket bounds (ignored if the histogram already exists).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_entry(
+            MetricKey {
+                name: name.to_string(),
+                label: None,
+            },
+            bounds,
+        )
+    }
+
+    /// Gets or registers the histogram `name{label_key="label_value"}`.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        label_key: &str,
+        label_value: &str,
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        self.histogram_entry(
+            MetricKey {
+                name: name.to_string(),
+                label: Some((label_key.to_string(), label_value.to_string())),
+            },
+            bounds,
+        )
+    }
+
+    fn histogram_entry(&self, key: MetricKey, bounds: &[f64]) -> Arc<Histogram> {
         Arc::clone(
             lock(&self.histograms)
-                .entry(MetricKey {
-                    name: name.to_string(),
-                    label: None,
-                })
+                .entry(key)
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
         )
     }
@@ -269,6 +336,13 @@ impl MetricsRegistry {
         for (key, h) in lock(&self.histograms).iter() {
             type_line(&mut out, &key.name, "histogram");
             let snap = h.snapshot();
+            // A labeled histogram merges its label pair with `le` on every
+            // bucket line; `_sum`/`_count` carry just the label.
+            let label = key
+                .label
+                .as_ref()
+                .map(|(k, v)| format!("{k}=\"{}\",", v.replace('"', "\\\"")))
+                .unwrap_or_default();
             let mut cumulative = 0u64;
             for (i, count) in snap.counts.iter().enumerate() {
                 cumulative += count;
@@ -277,10 +351,16 @@ impl MetricsRegistry {
                     .get(i)
                     .map(|b| trim_float(*b))
                     .unwrap_or_else(|| "+Inf".to_string());
-                let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", key.name);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{{{label}le=\"{le}\"}} {cumulative}",
+                    key.name
+                );
             }
-            let _ = writeln!(out, "{}_sum {}", key.name, trim_float(snap.sum));
-            let _ = writeln!(out, "{}_count {}", key.name, snap.count);
+            let series = fmt_series(key);
+            let suffix = series.strip_prefix(key.name.as_str()).unwrap_or("");
+            let _ = writeln!(out, "{}_sum{suffix} {}", key.name, trim_float(snap.sum));
+            let _ = writeln!(out, "{}_count{suffix} {}", key.name, snap.count);
         }
         out
     }
@@ -320,8 +400,9 @@ impl MetricsRegistry {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                "{sep}\n    {{\"name\": \"{}\"{}, \"count\": {}, \"sum\": {}, \"buckets\": [",
                 key.name,
+                json_label(key),
                 snap.count,
                 trim_float(snap.sum)
             );
@@ -451,6 +532,108 @@ mod tests {
         assert!(json.contains("\"gauges\""), "{json}");
         assert!(json.contains("{\"le\": 1, \"count\": 1}"), "{json}");
         assert!(json.contains("{\"le\": \"+Inf\", \"count\": 1}"), "{json}");
+    }
+
+    #[test]
+    fn labeled_histograms_merge_label_with_le() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_labeled("err", "technique", "offline-synopsis", &[0.1, 1.0])
+            .observe(0.05);
+        reg.histogram_labeled("err", "technique", "rewrite-middleware", &[0.1, 1.0])
+            .observe(0.5);
+        let text = reg.to_prometheus_text();
+        assert!(
+            text.contains("err_bucket{technique=\"offline-synopsis\",le=\"0.1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("err_bucket{technique=\"rewrite-middleware\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("err_sum{technique=\"offline-synopsis\"} 0.05"),
+            "{text}"
+        );
+        assert!(
+            text.contains("err_count{technique=\"rewrite-middleware\"} 1"),
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE err histogram").count(), 1);
+        let json = reg.to_json();
+        assert!(
+            json.contains("\"technique\": \"offline-synopsis\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn labeled_gauges_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_labeled("staleness", "table", "a").set(0.25);
+        reg.gauge_labeled("staleness", "table", "b").set(0.75);
+        assert!((reg.gauge_labeled("staleness", "table", "a").get() - 0.25).abs() < 1e-12);
+        let text = reg.to_prometheus_text();
+        assert!(text.contains("staleness{table=\"a\"} 0.25"), "{text}");
+        assert!(text.contains("staleness{table=\"b\"} 0.75"), "{text}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", &[10.0, 20.0, 40.0]);
+        assert_eq!(h.snapshot().quantile(0.5), None, "empty histogram");
+        // 10 observations in (10, 20], none elsewhere: the median sits
+        // halfway through the second bucket.
+        for _ in 0..10 {
+            h.observe(15.0);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((p50 - 15.0).abs() < 1e-9, "{p50}");
+        // q=1.0 reaches the bucket's upper bound.
+        assert!((snap.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        // q=0 clamps to the bucket's lower edge.
+        assert!((snap.quantile(0.0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_first_bucket_interpolates_from_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q0", &[8.0]);
+        for _ in 0..4 {
+            h.observe(1.0);
+        }
+        let p50 = h.snapshot().quantile(0.5).unwrap();
+        assert!(
+            (p50 - 4.0).abs() < 1e-9,
+            "first bucket lower bound is 0: {p50}"
+        );
+    }
+
+    #[test]
+    fn quantile_inf_bucket_clamps_to_last_finite_bound() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("qi", &[10.0]);
+        for _ in 0..10 {
+            h.observe(999.0);
+        }
+        let snap = h.snapshot();
+        assert!((snap.quantile(0.99).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_splits_mixed_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("qm", &[1.0, 2.0, 4.0]);
+        // 2 in the first bucket, 6 in the second, 2 in the third.
+        for v in [0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 3.0, 3.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // rank(0.8) = 8 -> exactly the cumulative edge of bucket 2.
+        assert!((snap.quantile(0.8).unwrap() - 2.0).abs() < 1e-9);
+        // rank(0.5) = 5 -> halfway through bucket 2: 1 + (5-2)/6 * 1.
+        assert!((snap.quantile(0.5).unwrap() - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! aqp-lint tour: one fixture query per lint code `A001`–`A013`, each
+//! aqp-lint tour: one fixture query per lint code `A001`–`A014`, each
 //! analyzed statically — no base data is read — and printed with its
 //! verdict table, diagnostics, and suggested rewrites. Finishes with the
 //! session wiring: `EXPLAIN ANALYZE` carrying the lint table and the
@@ -8,7 +8,7 @@
 //! cargo run --release -p aqp-bench --example lint
 //! ```
 
-use aqp_analyze::{lint_plan, LintCode, LintContext, SynopsisMeta};
+use aqp_analyze::{lint_plan, LintCode, LintContext, QuarantineMeta, SynopsisMeta, TechniqueKind};
 use aqp_core::{AqpSession, CandidateOutcome, ErrorSpec};
 use aqp_engine::{AggExpr, LogicalPlan, Query};
 use aqp_expr::{col, lit, Expr};
@@ -147,6 +147,21 @@ fn main() {
     // A013 — tiny + grouped + no synopsis: only the rewrite's point
     // estimate remains attainable.
     show(LintCode::A013PointEstimateOnly, &grouped_sum("tiny"), &bare);
+
+    // A014 — the session's accuracy auditor observed coverage below the
+    // floor; the family is quarantined out of routing until it recovers.
+    let quarantined = LintContext::new(&c).with_quarantine(QuarantineMeta {
+        technique: TechniqueKind::OnlineSampling,
+        coverage_bp: 5_500,
+        floor_bp: 8_000,
+    });
+    show(
+        LintCode::A014TechniqueQuarantined,
+        &Query::scan("t")
+            .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+            .build(),
+        &quarantined,
+    );
 
     // --- Session wiring: the router runs this same analysis once per
     // query, skips the probes it rules out, and attaches the lint table

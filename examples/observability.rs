@@ -1,13 +1,14 @@
 //! Observability tour: run one query through each AQP family via the
 //! routing session with the tracer on, print `EXPLAIN ANALYZE` for every
-//! answer, and finish with the session's metrics in Prometheus exposition
-//! format.
+//! answer, run an audited workload whose ground-truth checks populate the
+//! per-technique accuracy scoreboard, and finish with the session's
+//! metrics in Prometheus exposition format.
 //!
 //! ```sh
 //! cargo run --release -p aqp-bench --example observability
 //! ```
 
-use aqp_core::{AqpSession, ErrorSpec, OnlineConfig, SessionConfig};
+use aqp_core::{AqpSession, AuditConfig, ErrorSpec, OnlineConfig, SessionConfig};
 use aqp_engine::{AggExpr, LogicalPlan, Query};
 use aqp_expr::{col, lit};
 use aqp_storage::Catalog;
@@ -119,7 +120,40 @@ fn main() {
         &ErrorSpec::new(0.02, 0.99),
     );
 
-    // --- 5. Everything the four sessions recorded, scrape-ready.
+    // --- 5. Accuracy auditing: re-run the ad-hoc workload with a 20%
+    //        ground-truth audit rate. The seeded sampler picks answers to
+    //        re-execute exactly; every verdict lands on the per-technique
+    //        coverage scoreboard that `explain_analyze` renders and
+    //        `AqpSession::accuracy()` exposes.
+    let session5 = AqpSession::with_config(
+        &c2,
+        SessionConfig {
+            audit: AuditConfig {
+                rate: 0.2,
+                seed: 0xA0D1,
+                ..AuditConfig::default()
+            },
+            ..SessionConfig::default()
+        },
+    );
+    let spec = ErrorSpec::new(0.05, 0.95);
+    let mut audited = 0usize;
+    for seed in 0..40u64 {
+        let ans = session5.answer(&adhoc, &spec, seed).unwrap();
+        if let Some(audit) = &ans.report.audit {
+            audited += 1;
+            println!(
+                "audit #{audited}: {} max_rel_err={:.4} ({}µs of exact re-execution)",
+                if audit.ok { "ok" } else { "FAILED" },
+                audit.max_rel_err,
+                audit.wall.as_micros()
+            );
+        }
+    }
+    println!("\n== accuracy scoreboard (windowed, per technique) ==\n");
+    println!("{}", session5.accuracy().render_table());
+
+    // --- 6. Everything the five sessions recorded, scrape-ready.
     println!("== metrics (Prometheus exposition) ==\n");
     print!("{}", aqp_obs::metrics::global().to_prometheus_text());
 }

@@ -65,6 +65,11 @@ cargo test -q
 # emitted BENCH_merge.json is shape-checked along with the rest.
 cargo run -q --release -p aqp-bench --bin bench_merge
 
+# Audit bench: added wall of ground-truth auditing at 1% and 5% sampling
+# rates plus the scoreboard snapshot cost, with the always-on acceptance
+# gate (1%-rate overhead <= 5%). Emits BENCH_audit.json for bench_smoke.
+cargo run -q --release -p aqp-bench --bin bench_audit
+
 # Bench smoke: tiny-row kernel-vs-scalar equivalence at threads=1 plus
 # shape validation of every BENCH_*.json report — seconds, not the
 # minutes a full Criterion run costs.
