@@ -61,6 +61,18 @@ const REQUIRED_FIELDS: &[(&str, &[&str])] = &[
             "scoreboard_read_ns",
         ],
     ),
+    (
+        "BENCH_server.json",
+        &[
+            "bench",
+            "queries_per_client",
+            "clients",
+            "cold_route_us",
+            "cached_route_us",
+            "cache_speedup",
+            "rejected",
+        ],
+    ),
 ];
 
 fn main() {

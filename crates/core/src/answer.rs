@@ -168,6 +168,12 @@ pub struct ExecutionReport {
     /// when any audits have run; `None` otherwise. Excluded from equality
     /// and boxed for the same reasons as `audit`.
     pub accuracy: Option<Box<aqp_obs::scoreboard::ScoreboardSnapshot>>,
+    /// How the concurrent service admitted this query (contract verdict,
+    /// plan-cache event, queue wait), when the answer came through
+    /// [`crate::service::AqpService`]; `None` for direct session calls.
+    /// Excluded from equality (like `trace`): admission describes how the
+    /// query reached execution, not what it answered.
+    pub admission: Option<Box<crate::service::AdmissionReport>>,
 }
 
 impl PartialEq for ExecutionReport {
@@ -222,6 +228,24 @@ impl ExecutionReport {
             self.population_rows,
             100.0 * self.touched_fraction(),
         );
+        if let Some(admission) = &self.admission {
+            let decision = match &admission.decision {
+                crate::service::AdmissionDecision::Accepted => "accepted".to_string(),
+                crate::service::AdmissionDecision::Degraded { requested, granted } => {
+                    format!("degraded ({requested} -> {granted})")
+                }
+            };
+            let _ = write!(
+                out,
+                "admission: {decision}  cache={}  queue_wait={}",
+                admission.cache.tag(),
+                aqp_obs::fmt_ns(admission.queue_wait.as_nanos() as u64),
+            );
+            if let Some(est) = admission.estimated_wall {
+                let _ = write!(out, "  est={}", aqp_obs::fmt_ns(est.as_nanos() as u64));
+            }
+            out.push('\n');
+        }
         if let Some(routing) = &self.routing {
             let _ = writeln!(out, "routing:");
             for c in &routing.candidates {
@@ -429,6 +453,7 @@ mod tests {
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         }
     }
@@ -481,6 +506,7 @@ mod tests {
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         };
         assert_eq!(a.scalar_estimate("n").unwrap().value, 5.0);
@@ -500,6 +526,7 @@ mod tests {
             lints: None,
             audit: None,
             accuracy: None,
+            admission: None,
         };
         let a = assemble_answer(
             vec!["g".into()],

@@ -36,6 +36,11 @@
 //!   call picks the best eligible family per query, falls through the
 //!   chain on runtime declines, and records the whole deliberation in the
 //!   answer's [`answer::RoutingDecision`].
+//! * [`service`] — the *concurrent* front door: a `Send + Sync`
+//!   [`AqpService`] sharing one session (and one morsel-thread budget)
+//!   across client threads, with bounded admission, a plan cache keyed on
+//!   normalized-plan fingerprints, and per-query accuracy
+//!   [`Contract`]s that admission accepts, degrades, or rejects.
 //! * [`taxonomy`] — the paper's technique-vs-property matrix; the four
 //!   routable family rows are derived live from [`Technique::eligibility`]
 //!   probes, so the matrix cannot drift from the code.
@@ -85,6 +90,7 @@ pub mod offline;
 pub mod ola;
 pub mod online;
 pub mod rewrite;
+pub mod service;
 pub mod session;
 pub mod shard;
 pub mod spec;
@@ -100,8 +106,13 @@ pub use audit::{AuditConfig, AuditOutcome};
 pub use error::AqpError;
 pub use offline::{OfflineStore, OfflineTechnique};
 pub use ola::{OlaTechnique, OnlineAggregator, RippleJoin};
+pub use online::PilotPlan;
 pub use online::{OnlineAqp, OnlineConfig};
 pub use rewrite::RewriteTechnique;
+pub use service::{
+    AdmissionDecision, AdmissionReport, AqpService, CacheEvent, Contract, Rejection, ServiceConfig,
+    ServiceReply, ServiceStats,
+};
 pub use session::{AqpSession, SessionConfig};
 pub use shard::{bernoulli_sample_sharded, exact_aggregate_sharded, srs_sample_sharded};
 pub use spec::ErrorSpec;

@@ -651,6 +651,7 @@ impl OfflineStore {
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         ))
     }

@@ -306,6 +306,7 @@ impl Technique for OlaTechnique<'_> {
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         )))
     }

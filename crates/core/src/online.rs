@@ -291,6 +291,36 @@ fn required_rate(
     b / (b + a)
 }
 
+/// The rates a two-phase run settled on, memoizable by a plan cache.
+///
+/// The final answer depends on the pilot *only* through the planned
+/// `final_rate` (the final sample is drawn at an independent derived
+/// seed), so replaying the final phase from a `PilotPlan` via
+/// [`OnlineAqp::sample_with_plan`] reproduces the cold run's groups
+/// bit-for-bit for the same `(query, spec, seed)` — while skipping the
+/// pilot scan entirely. Because the planned rate is seed-dependent
+/// (different pilots see different spreads), a plan is only valid for
+/// the exact seed it was captured under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PilotPlan {
+    /// Pilot block-sampling rate the cold run used (reported in the
+    /// execution path so replayed reports render identically).
+    pub pilot_rate: f64,
+    /// Final Bernoulli block rate the planner solved for.
+    pub final_rate: f64,
+}
+
+/// Row/shape bookkeeping threaded into the final phase: what the run has
+/// already scanned (pilot + dimension tables) and the population shape
+/// the estimators scale to.
+struct FinalCharge {
+    pilot_rows: u64,
+    dim_rows: u64,
+    population_rows: u64,
+    big_m: u64,
+    start: Instant,
+}
+
 /// The online AQP engine.
 pub struct OnlineAqp<'a> {
     catalog: &'a Catalog,
@@ -353,16 +383,7 @@ impl<'a> OnlineAqp<'a> {
         let evaluator = StarEvaluator::new(self.catalog, query)?;
         let fact = evaluator.fact().clone();
         let population_rows = fact.row_count() as u64;
-        let dim_rows: u64 = query
-            .joins
-            .iter()
-            .map(|j| {
-                self.catalog
-                    .get(&j.dim_table)
-                    .map(|t| t.row_count() as u64)
-                    .unwrap_or(0)
-            })
-            .sum();
+        let dim_rows = self.dim_rows(query);
 
         // ---- Pilot phase ----
         // The pilot needs enough blocks for spread estimation (the
@@ -402,7 +423,10 @@ impl<'a> OnlineAqp<'a> {
             pilot_span.set_rows(pilot_rows);
             pilot_span.set_detail(format!("rate={pilot_rate:.4}"));
             aqp_obs::metrics::global()
-                .histogram("aqp_online_pilot_us", aqp_obs::metrics::LATENCY_US_BOUNDS)
+                .histogram(
+                    aqp_obs::names::ONLINE_PILOT_US,
+                    aqp_obs::metrics::LATENCY_US_BOUNDS,
+                )
                 .observe(pilot_t0.elapsed().as_secs_f64() * 1e6);
         }
         pilot_span.finish();
@@ -452,16 +476,110 @@ impl<'a> OnlineAqp<'a> {
         }
         plan_span.finish();
 
-        // ---- Final phase ----
+        self.final_phase(
+            &evaluator,
+            query,
+            spec,
+            seed,
+            PilotPlan {
+                pilot_rate,
+                final_rate: q_final,
+            },
+            FinalCharge {
+                pilot_rows,
+                dim_rows,
+                population_rows,
+                big_m,
+                start,
+            },
+        )
+    }
+
+    /// Replays the final phase of a previously planned two-phase run,
+    /// skipping the pilot scan. For the exact `(query, spec, seed)` a
+    /// cold [`try_sample`](OnlineAqp::try_sample) ran with, the returned
+    /// groups are bit-for-bit identical to the cold run's (same derived
+    /// final-phase seed, same rate, same merge order); only the report's
+    /// cost accounting differs (no pilot rows charged). Callers — the
+    /// service plan cache — must key the plan by seed and invalidate it
+    /// when the fact table changes.
+    pub fn sample_with_plan(
+        &self,
+        query: &AggQuery,
+        spec: &ErrorSpec,
+        seed: u64,
+        plan: &PilotPlan,
+    ) -> Result<Attempt, AqpError> {
+        let start = Instant::now();
+        let evaluator = StarEvaluator::new(self.catalog, query)?;
+        let fact = evaluator.fact().clone();
+        let population_rows = fact.row_count() as u64;
+        let dim_rows = self.dim_rows(query);
+        let big_m = fact.block_count() as u64;
+        if big_m < MIN_BLOCKS {
+            return Ok(Attempt::Declined {
+                reason: DeclineReason::TableTooSmall {
+                    blocks: big_m,
+                    min_blocks: MIN_BLOCKS,
+                },
+                rows_scanned: 0,
+            });
+        }
+        self.final_phase(
+            &evaluator,
+            query,
+            spec,
+            seed,
+            *plan,
+            FinalCharge {
+                pilot_rows: 0,
+                dim_rows,
+                population_rows,
+                big_m,
+                start,
+            },
+        )
+    }
+
+    /// Total rows in the query's dimension tables (charged to every
+    /// attempt that builds join hash maps).
+    fn dim_rows(&self, query: &AggQuery) -> u64 {
+        query
+            .joins
+            .iter()
+            .map(|j| {
+                self.catalog
+                    .get(&j.dim_table)
+                    .map(|t| t.row_count() as u64)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// The final sampling pass: an independent Bernoulli block sample at
+    /// the planned rate, folded into Hájek per-group estimates. The
+    /// final-phase seed is derived from the query seed (splitmix-style
+    /// multiply) so pilot and final samples are decorrelated yet fully
+    /// determined by `(seed, rate)` — the property the plan cache's
+    /// replay path relies on.
+    fn final_phase(
+        &self,
+        evaluator: &StarEvaluator,
+        query: &AggQuery,
+        spec: &ErrorSpec,
+        seed: u64,
+        plan: PilotPlan,
+        charge: FinalCharge,
+    ) -> Result<Attempt, AqpError> {
         let mut final_span = aqp_obs::span("online:final");
         let final_sample = bernoulli_blocks(
-            &fact,
-            q_final,
+            evaluator.fact(),
+            plan.final_rate,
             seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
         );
         let final_rows = final_sample.num_rows() as u64;
         let (final_groups, final_blocks) =
-            accumulate(&evaluator, &final_sample, self.config.threads)?;
+            accumulate(evaluator, &final_sample, self.config.threads)?;
         if final_span.is_recording() {
             final_span.set_rows(final_rows);
         }
@@ -477,12 +595,12 @@ impl<'a> OnlineAqp<'a> {
                     .aggregates
                     .iter()
                     .zip(&acc.totals)
-                    .map(|(a, t)| estimate_from_totals(a.kind, t, final_blocks, big_m))
+                    .map(|(a, t)| estimate_from_totals(a.kind, t, final_blocks, charge.big_m))
                     .collect();
                 (acc.key, estimates)
             })
             .collect();
-        let rows_scanned = pilot_rows + final_rows + dim_rows;
+        let rows_scanned = charge.pilot_rows + final_rows + charge.dim_rows;
         Ok(Attempt::Answered(assemble_answer(
             query.group_by.iter().map(|(_, n)| n.clone()).collect(),
             query.aggregates.iter().map(|a| a.alias.clone()).collect(),
@@ -490,18 +608,19 @@ impl<'a> OnlineAqp<'a> {
             ci_conf,
             ExecutionReport {
                 path: ExecutionPath::OnlineBlockSample {
-                    pilot_rate,
-                    final_rate: q_final,
+                    pilot_rate: plan.pilot_rate,
+                    final_rate: plan.final_rate,
                 },
-                population_rows,
+                population_rows: charge.population_rows,
                 rows_touched: rows_scanned,
                 rows_scanned,
-                wall: start.elapsed(),
+                wall: charge.start.elapsed(),
                 routing: None,
                 trace: None,
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         )))
     }

@@ -251,6 +251,7 @@ impl Technique for RewriteTechnique<'_> {
                 lints: None,
                 audit: None,
                 accuracy: None,
+                admission: None,
             },
         )))
     }

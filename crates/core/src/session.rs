@@ -25,7 +25,7 @@
 //! within the guaranteed ones, cheaper data access outranks costlier. A
 //! runtime decline falls through to the next candidate, and the full
 //! deliberation is recorded in the answer's
-//! [`RoutingDecision`](crate::answer::RoutingDecision).
+//! [`RoutingDecision`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,7 +77,7 @@ fn attempt_span_name(kind: TechniqueKind) -> &'static str {
 /// bounded) and one `aqp_routed_total{winner=...}` tick for the family
 /// that answered. Always on — sharded counters cost nanoseconds next to a
 /// routed query.
-fn count_decision(decision: &RoutingDecision) {
+pub(crate) fn count_decision(decision: &RoutingDecision) {
     use aqp_obs::names;
     let m = aqp_obs::metrics::global();
     for c in &decision.candidates {
@@ -110,7 +110,7 @@ fn count_decision(decision: &RoutingDecision) {
 /// measured so the `query` span's duration never exceeds `report.wall`,
 /// and trace assembly happens after, so collection cost is not billed to
 /// the query.
-fn attach_trace(
+pub(crate) fn attach_trace(
     report: &mut crate::answer::ExecutionReport,
     root: aqp_obs::Span,
     wall_start: Instant,
@@ -134,11 +134,22 @@ fn attach_trace(
 /// are pre-sized and never rehash on plans whose key shapes bound the
 /// group count (`x % k`, literals, global aggregates).
 fn exec_opts(analysis: &Analysis) -> ExecOptions {
-    ExecOptions::default().with_agg_hint(
+    exec_opts_with(analysis, None)
+}
+
+/// [`exec_opts`] with an optional worker-count override — how the
+/// concurrent service applies its fair [`aqp_engine::PoolShare`] split to
+/// exact executions without disturbing the single-caller default.
+pub(crate) fn exec_opts_with(analysis: &Analysis, threads: Option<usize>) -> ExecOptions {
+    let mut opts = ExecOptions::default().with_agg_hint(
         analysis
             .group_cardinality_hint
             .and_then(|h| usize::try_from(h).ok()),
-    )
+    );
+    if let Some(t) = threads {
+        opts.threads = t.max(1);
+    }
+    opts
 }
 
 /// Tuning knobs for the routing policy.
@@ -185,6 +196,11 @@ pub struct AqpSession<'a> {
     /// Serial number of approximate answers — the seeded audit sampler's
     /// deterministic input.
     audit_serial: AtomicU64,
+    /// Monotone routing-state version: bumped whenever the inputs a cached
+    /// routing decision depends on change (synopsis maintenance, any
+    /// quarantine transition). The service's plan cache stamps entries
+    /// with the epoch at insert and treats a mismatch as stale.
+    epoch: AtomicU64,
 }
 
 impl<'a> AqpSession<'a> {
@@ -204,8 +220,21 @@ impl<'a> AqpSession<'a> {
                 min_audits: config.audit.min_audits,
             }),
             audit_serial: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             config,
         }
+    }
+
+    /// The current routing epoch (see the `epoch` field). Cached routing
+    /// decisions are only valid while the epoch they were captured under
+    /// still matches.
+    pub fn routing_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// This session's routing configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// The session's synopsis store — build synopses here to make the
@@ -231,6 +260,9 @@ impl<'a> AqpSession<'a> {
         // Audits of the replaced synopsis say nothing about the maintained
         // one: clear the offline window, releasing any quarantine.
         self.scoreboard.reset(TechniqueKind::OfflineSynopsis.name());
+        // Staleness verdicts captured before maintenance are now wrong in
+        // both directions — invalidate cached routing decisions.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(n)
     }
 
@@ -249,7 +281,7 @@ impl<'a> AqpSession<'a> {
     /// The analyzer's view of this session: the catalog, the offline
     /// store's synopsis inventory (metadata only), and the routing
     /// policy's thresholds.
-    fn lint_context(&self) -> LintContext<'a> {
+    pub(crate) fn lint_context(&self) -> LintContext<'a> {
         let mut ctx = LintContext::new(self.catalog).with_policy(LintPolicy {
             max_staleness: self.config.max_staleness,
             min_sampling_blocks: aqp_analyze::MIN_SAMPLING_BLOCKS,
@@ -296,13 +328,26 @@ impl<'a> AqpSession<'a> {
 
     /// The candidate chain in policy order (exact is implicit, last).
     fn techniques(&self) -> Vec<Box<dyn Technique + '_>> {
+        self.techniques_with_threads(None)
+    }
+
+    /// The candidate chain with an optional worker-count override for the
+    /// data-touching families — the service's fair-share hook.
+    pub(crate) fn techniques_with_threads(
+        &self,
+        threads: Option<usize>,
+    ) -> Vec<Box<dyn Technique + '_>> {
+        let mut online = self.config.online;
+        if let Some(t) = threads {
+            online.threads = t.max(1);
+        }
         let mut chain: Vec<Box<dyn Technique + '_>> = vec![
             Box::new(OfflineTechnique::new(
                 &self.offline,
                 self.catalog,
                 self.config.max_staleness,
             )),
-            Box::new(OnlineAqp::new(self.catalog, self.config.online)),
+            Box::new(OnlineAqp::new(self.catalog, online)),
         ];
         if self.config.progressive {
             chain.push(Box::new(OlaTechnique::new(self.catalog)));
@@ -423,6 +468,26 @@ impl<'a> AqpSession<'a> {
         spec: &ErrorSpec,
         seed: u64,
     ) -> Result<ApproximateAnswer, AqpError> {
+        self.answer_with_analysis(plan, spec, seed, None, None)
+    }
+
+    /// [`AqpSession::answer`] with two service hooks: a memoized
+    /// [`Analysis`] (skipping the lint pass — the plan cache's fast path)
+    /// and a worker-count override (the fair [`aqp_engine::PoolShare`]
+    /// split). `None`/`None` is exactly the single-caller behavior.
+    ///
+    /// A supplied analysis must have been produced by this session's own
+    /// lint context at the current [`routing_epoch`]
+    /// (see [`AqpSession::routing_epoch`]); the caller owns that
+    /// freshness check.
+    pub(crate) fn answer_with_analysis(
+        &self,
+        plan: &LogicalPlan,
+        spec: &ErrorSpec,
+        seed: u64,
+        cached_analysis: Option<Arc<Analysis>>,
+        threads: Option<usize>,
+    ) -> Result<ApproximateAnswer, AqpError> {
         // The report's wall is the *routed* wall — analysis, probes,
         // failed attempts, and the winner — mirroring how declined rows
         // are charged to the final answer. The root span starts a fresh
@@ -431,31 +496,37 @@ impl<'a> AqpSession<'a> {
         let wall_start = Instant::now();
         let root = aqp_obs::root_span("query");
         let query = AggQuery::from_plan(plan);
-        let mut lint_span = aqp_obs::span("lint:analyze");
-        let analysis = Arc::new(aqp_analyze::lint_with(
-            plan,
-            query.as_ref(),
-            &self.lint_context(),
-        ));
-        if lint_span.is_recording() {
-            lint_span.set_detail(format!(
-                "{} diagnostic(s), best {}",
-                analysis.diagnostics.len(),
-                analysis.best_attainable()
+        let analysis = if let Some(analysis) = cached_analysis {
+            analysis
+        } else {
+            let mut lint_span = aqp_obs::span("lint:analyze");
+            let analysis = Arc::new(aqp_analyze::lint_with(
+                plan,
+                query.as_ref(),
+                &self.lint_context(),
             ));
-        }
-        lint_span.finish();
+            if lint_span.is_recording() {
+                lint_span.set_detail(format!(
+                    "{} diagnostic(s), best {}",
+                    analysis.diagnostics.len(),
+                    analysis.best_attainable()
+                ));
+            }
+            lint_span.finish();
+            analysis
+        };
         let Some(query) = query else {
             let decision = self.shape_blocked_decision(&analysis);
             count_decision(&decision);
-            let mut ans = exact_answer_with(self.catalog, plan, None, exec_opts(&analysis))?;
+            let mut ans =
+                exact_answer_with(self.catalog, plan, None, exec_opts_with(&analysis, threads))?;
             ans.report.routing = Some(decision);
             ans.report.lints = Some(analysis);
             attach_trace(&mut ans.report, root, wall_start);
             self.attach_accuracy(&mut ans);
             return Ok(ans);
         };
-        let techniques = self.techniques();
+        let techniques = self.techniques_with_threads(threads);
         let mut candidates: Vec<CandidateDecision> = Vec::with_capacity(techniques.len() + 1);
         let mut declined_rows: u64 = 0;
         let mut answered: Option<(TechniqueKind, ApproximateAnswer)> = None;
@@ -564,7 +635,7 @@ impl<'a> AqpSession<'a> {
                     self.catalog,
                     &query.to_plan(),
                     population,
-                    exec_opts(&analysis),
+                    exec_opts_with(&analysis, threads),
                 )?;
                 exact_attempt_wall = attempt_start.elapsed();
                 if span.is_recording() {
@@ -603,7 +674,7 @@ impl<'a> AqpSession<'a> {
     /// answer: re-executes exactly, grades the promises, records the
     /// verdict in the scoreboard (possibly entering quarantine), and
     /// mirrors failed offline audits into the synopsis drift monitors.
-    fn maybe_audit(
+    pub(crate) fn maybe_audit(
         &self,
         query: &AggQuery,
         ans: &mut ApproximateAnswer,
@@ -647,12 +718,17 @@ impl<'a> AqpSession<'a> {
                 )
                 .inc(1);
         }
+        if transition != Transition::None {
+            // Entering or leaving quarantine flips a family's static
+            // eligibility — cached routing decisions are now wrong.
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
         ans.report.audit = Some(Box::new(outcome));
     }
 
     /// Attaches the scoreboard snapshot to the report once any audits
     /// have run, so `explain_analyze()` can render the accuracy table.
-    fn attach_accuracy(&self, ans: &mut ApproximateAnswer) {
+    pub(crate) fn attach_accuracy(&self, ans: &mut ApproximateAnswer) {
         let snapshot = self.scoreboard.snapshot();
         if !snapshot.rows.is_empty() {
             ans.report.accuracy = Some(Box::new(snapshot));

@@ -191,6 +191,7 @@ pub fn exact_answer_with(
             lints: None,
             audit: None,
             accuracy: None,
+            admission: None,
         },
     ))
 }

@@ -38,5 +38,5 @@ pub use agg::{AggExpr, AggFunc};
 pub use error::EngineError;
 pub use exec::{execute, execute_with};
 pub use plan::{LogicalPlan, Query, SortKey};
-pub use pool::ExecOptions;
+pub use pool::{ExecOptions, PoolShare, PoolSlot};
 pub use result::{ExecStats, ResultSet};

@@ -88,6 +88,46 @@ pub const ROUTED_WINNER_TAGS: &[&str] = &[
     "exact",
 ];
 
+// ---- Service (AqpService) series -----------------------------------------
+
+/// Histogram: time a query spends in the service's bounded admission
+/// queue before execution starts (µs). Always on.
+pub const SERVICE_QUEUE_WAIT_US: &str = "aqp_service_queue_wait_us";
+
+/// Gauge: queries waiting in the admission queue right now.
+pub const SERVICE_QUEUE_DEPTH: &str = "aqp_service_queue_depth";
+
+/// Gauge: queries executing right now (admitted, not yet answered).
+pub const SERVICE_INFLIGHT: &str = "aqp_service_inflight";
+
+/// Labeled counter: admission-control outcomes, keyed by
+/// [`ADMISSION_DECISION_LABEL`]. The label values are enumerated in
+/// [`ADMISSION_DECISION_TAGS`].
+pub const ADMISSION_TOTAL: &str = "aqp_admission_total";
+
+/// Label key for [`ADMISSION_TOTAL`]: what admission control decided.
+pub const ADMISSION_DECISION_LABEL: &str = "decision";
+
+/// Every label value [`ADMISSION_TOTAL`] can carry: the contract was
+/// accepted as asked, accepted with an honest guarantee downgrade, or
+/// rejected (queue full, deadline unmeetable, or contract unattainable
+/// under a strict degrade policy).
+pub const ADMISSION_DECISION_TAGS: &[&str] = &["accepted", "degraded", "rejected"];
+
+/// Labeled counter: plan-cache lookups, keyed by [`PLAN_CACHE_EVENT_LABEL`].
+/// The label values are enumerated in [`PLAN_CACHE_EVENT_TAGS`].
+pub const PLAN_CACHE_TOTAL: &str = "aqp_plan_cache_total";
+
+/// Label key for [`PLAN_CACHE_TOTAL`]: what the lookup found.
+pub const PLAN_CACHE_EVENT_LABEL: &str = "event";
+
+/// Every label value [`PLAN_CACHE_TOTAL`] can carry: `hit` (fingerprint
+/// found and still valid — lint and probes skipped), `miss` (never seen),
+/// `stale` (found but invalidated by a routing-epoch bump or a fact-table
+/// row-count change), `evicted` (capacity eviction on insert), and
+/// `uncacheable` (plan outside the normalized shape).
+pub const PLAN_CACHE_EVENT_TAGS: &[&str] = &["hit", "miss", "stale", "evicted", "uncacheable"];
+
 // ---- Technique-internal series -------------------------------------------
 
 /// Histogram: wall cost of the online sampler's pilot pass (µs).
@@ -166,6 +206,11 @@ pub const ALL_METRIC_NAMES: &[&str] = &[
     DECLINE_TOTAL,
     PROBES_SKIPPED_TOTAL,
     ROUTED_TOTAL,
+    SERVICE_QUEUE_WAIT_US,
+    SERVICE_QUEUE_DEPTH,
+    SERVICE_INFLIGHT,
+    ADMISSION_TOTAL,
+    PLAN_CACHE_TOTAL,
     ONLINE_PILOT_US,
     OLA_CI_REL_HALF_WIDTH,
     SYNOPSIS_BUILD_US,
@@ -203,7 +248,12 @@ mod tests {
 
     #[test]
     fn tag_tables_are_unique() {
-        for tags in [DECLINE_REASON_TAGS, ROUTED_WINNER_TAGS] {
+        for tags in [
+            DECLINE_REASON_TAGS,
+            ROUTED_WINNER_TAGS,
+            ADMISSION_DECISION_TAGS,
+            PLAN_CACHE_EVENT_TAGS,
+        ] {
             let mut seen = std::collections::BTreeSet::new();
             for tag in tags {
                 assert!(seen.insert(*tag), "duplicate tag {tag}");

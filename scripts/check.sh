@@ -54,6 +54,15 @@ for hot in crates/core/src/session.rs crates/engine/src/exec.rs; do
   fi
 done
 
+# Rustdoc gate: the API docs must build clean (broken intra-doc links
+# and malformed doc comments are warnings, and warnings are denied).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# Operator docs: every relative markdown link must resolve. (The content
+# pins — every metric documented, every crate named — live in
+# tests/docs.rs and run with the suite below.)
+scripts/check_doc_links.sh
+
 # Observability crate first: its suite includes the guarded disabled-span
 # overhead smoke test, the cheapest signal when instrumentation regresses.
 cargo test -q -p aqp-obs
@@ -69,6 +78,12 @@ cargo run -q --release -p aqp-bench --bin bench_merge
 # rates plus the scoreboard snapshot cost, with the always-on acceptance
 # gate (1%-rate overhead <= 5%). Emits BENCH_audit.json for bench_smoke.
 cargo run -q --release -p aqp-bench --bin bench_audit
+
+# Server bench: mixed-workload QPS/latency through the concurrent
+# service at 1/2/4/8 clients, cold-vs-cached routing cost (cache must be
+# >= 5x cheaper), and bounded-queue rejection under collision. Emits
+# BENCH_server.json for bench_smoke.
+cargo run -q --release -p aqp-bench --bin bench_server
 
 # Bench smoke: tiny-row kernel-vs-scalar equivalence at threads=1 plus
 # shape validation of every BENCH_*.json report — seconds, not the

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Dead-link checker for the markdown docs: every *relative* link target
+# in README.md, docs/*.md, DESIGN.md, and EXPERIMENTS.md must exist on
+# disk. External (scheme://) and intra-page (#anchor) links are skipped;
+# a fragment on a relative link is checked against the file part only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Inline markdown links: [text](target). One per line via grep -o.
+  while IFS= read -r target; do
+    case "$target" in
+      *://* | '#'*) continue ;; # external URL or same-page anchor
+    esac
+    file=${target%%#*}
+    if [ ! -e "$dir/$file" ] && [ ! -e "$file" ]; then
+      echo "check_doc_links.sh: $doc links to missing file: $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()]*)' "$doc" | sed 's/^.*(//; s/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+  exit "$status"
+fi
+echo "check_doc_links.sh: all relative links resolve"

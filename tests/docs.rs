@@ -1,0 +1,85 @@
+//! Documentation pinning: the operator-facing docs are checked against
+//! the code they describe, so they cannot silently drift.
+//!
+//! * `docs/OPERATIONS.md` must mention every metric series the workspace
+//!   emits ([`aqp_obs::names::ALL_METRIC_NAMES`] is the registry);
+//! * `docs/ARCHITECTURE.md` must name every non-shim crate;
+//! * the README must link both documents.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Every emitted metric series is documented. A new metric added to
+/// `aqp_obs::names` without an OPERATIONS.md row fails here by name.
+#[test]
+fn operations_doc_covers_every_metric() {
+    let doc = read("docs/OPERATIONS.md");
+    let missing: Vec<&str> = aqp_obs::names::ALL_METRIC_NAMES
+        .iter()
+        .copied()
+        .filter(|name| !doc.contains(name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "docs/OPERATIONS.md is missing metric(s): {missing:?}"
+    );
+}
+
+/// The label vocabularies (decision/event tags) are documented too, so an
+/// operator can interpret every labeled series without reading source.
+#[test]
+fn operations_doc_covers_label_tags() {
+    let doc = read("docs/OPERATIONS.md");
+    for tag in aqp_obs::names::ADMISSION_DECISION_TAGS
+        .iter()
+        .chain(aqp_obs::names::PLAN_CACHE_EVENT_TAGS)
+        .chain(aqp_obs::names::ROUTED_WINNER_TAGS)
+    {
+        assert!(
+            doc.contains(tag),
+            "docs/OPERATIONS.md is missing label value `{tag}`"
+        );
+    }
+}
+
+/// The architecture tour names every non-shim crate in the workspace.
+#[test]
+fn architecture_doc_names_every_crate() {
+    let doc = read("docs/ARCHITECTURE.md");
+    for krate in [
+        "aqp-mergeable",
+        "aqp-stats",
+        "aqp-storage",
+        "aqp-expr",
+        "aqp-engine",
+        "aqp-sampling",
+        "aqp-sketch",
+        "aqp-workload",
+        "aqp-obs",
+        "aqp-analyze",
+        "aqp-core",
+        "aqp-bench",
+    ] {
+        assert!(
+            doc.contains(krate),
+            "docs/ARCHITECTURE.md does not mention `{krate}`"
+        );
+    }
+}
+
+/// The README links both operator documents.
+#[test]
+fn readme_links_the_docs() {
+    let readme = read("README.md");
+    for link in ["docs/ARCHITECTURE.md", "docs/OPERATIONS.md"] {
+        assert!(readme.contains(link), "README.md does not link {link}");
+    }
+}

@@ -1,0 +1,358 @@
+//! The concurrent service contract: `AqpService` adds admission control,
+//! scheduling, and a plan cache *around* the session without perturbing a
+//! single answer.
+//!
+//! * a multi-threaded proptest pins the headline guarantee — N client
+//!   threads hammering one shared service receive answers bit-for-bit
+//!   identical to a serial `AqpSession` replay of the same
+//!   `(plan, spec, seed)` jobs;
+//! * goldens cover each admission verdict (accepted, degraded, strict
+//!   rejection, deadline rejection, queue-full backpressure) and each
+//!   plan-cache transition (miss → hit → stale after maintenance or a
+//!   table swap, pilot-plan replay on a warm hit).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use aqp_core::{
+    AdmissionDecision, AqpService, AqpSession, CacheEvent, Contract, ErrorSpec, GuaranteeClass,
+    Rejection, ServiceConfig, TechniqueKind,
+};
+use aqp_engine::{AggExpr, LogicalPlan, Query};
+use aqp_expr::{col, lit};
+use aqp_storage::Catalog;
+use aqp_workload::{skewed_table, uniform_table};
+
+fn grouped_sum(table: &str, threshold: f64) -> LogicalPlan {
+    Query::scan(table)
+        .filter(col("sel").lt(lit(threshold)))
+        .aggregate(
+            vec![(col("g"), "g".to_string())],
+            vec![AggExpr::sum(col("v"), "s")],
+        )
+        .build()
+}
+
+fn ungrouped_sum(table: &str) -> LogicalPlan {
+    Query::scan(table)
+        .aggregate(vec![], vec![AggExpr::sum(col("v"), "s")])
+        .build()
+}
+
+/// Bitwise comparison of the parts of an answer that define its meaning:
+/// group keys, estimates (value, variance, sample size), and the routed
+/// winner. Wall clocks and queue waits legitimately differ.
+fn assert_same_answer(a: &aqp_core::ApproximateAnswer, b: &aqp_core::ApproximateAnswer, ctx: &str) {
+    let wa = a.report.routing.as_ref().map(|r| r.winner);
+    let wb = b.report.routing.as_ref().map(|r| r.winner);
+    assert_eq!(wa, wb, "winner diverged: {ctx}");
+    assert_eq!(
+        a.groups.len(),
+        b.groups.len(),
+        "group count diverged: {ctx}"
+    );
+    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(ga.key, gb.key, "group key diverged: {ctx}");
+        assert_eq!(
+            ga.estimates.len(),
+            gb.estimates.len(),
+            "estimate count diverged: {ctx}"
+        );
+        for (ea, eb) in ga.estimates.iter().zip(&gb.estimates) {
+            assert_eq!(ea.value, eb.value, "estimate value diverged: {ctx}");
+            assert_eq!(ea.variance, eb.variance, "variance diverged: {ctx}");
+            assert_eq!(ea.n, eb.n, "sample size diverged: {ctx}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N client threads through one shared `AqpService` get exactly the
+    /// answers a serial `AqpSession` replay produces — across cache
+    /// misses, hits (the jobs list repeats, so warm fast paths and cached
+    /// pilot plans are exercised), fair thread splits, and queueing.
+    #[test]
+    fn concurrent_service_equals_serial_session(
+        seeds in prop::collection::vec(any::<u64>(), 4..7),
+        threshold in 0.3f64..0.9,
+        with_synopsis in any::<bool>(),
+    ) {
+        let c = Catalog::new();
+        c.register(skewed_table("t", 20_000, 10, 1.0, 128, 11)).unwrap();
+        let spec = ErrorSpec::new(0.15, 0.9);
+        let plans = [grouped_sum("t", threshold), ungrouped_sum("t")];
+        // Repeat every job so the second occurrence replays warm cache
+        // state (memoized analysis, probes, and pilot plans).
+        let jobs: Vec<(usize, u64)> = seeds
+            .iter()
+            .flat_map(|&s| (0..plans.len()).map(move |p| (p, s)))
+            .cycle()
+            .take(seeds.len() * plans.len() * 2)
+            .collect();
+
+        // Serial reference: one session, one thread, same job stream.
+        let reference = AqpSession::new(&c);
+        if with_synopsis {
+            reference.offline().build_stratified(&c, "t", "g", 3_000, 5).unwrap();
+        }
+        let expected: Vec<_> = jobs
+            .iter()
+            .map(|&(p, s)| reference.answer(&plans[p], &spec, s).unwrap())
+            .collect();
+
+        for clients in [2usize, 4, 8] {
+            let session = AqpSession::new(&c);
+            if with_synopsis {
+                session.offline().build_stratified(&c, "t", "g", 3_000, 5).unwrap();
+            }
+            let service = AqpService::over(session, ServiceConfig::default());
+            let mut got: Vec<Option<aqp_core::ApproximateAnswer>> = Vec::new();
+            got.resize_with(jobs.len(), || None);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots = std::sync::Mutex::new(&mut got);
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (p, s) = jobs[i];
+                        let ans = service.answer(&plans[p], &spec, s).unwrap();
+                        slots.lock().unwrap()[i] = Some(ans);
+                    });
+                }
+            });
+            for (i, (ans, want)) in got.iter().zip(&expected).enumerate() {
+                let ans = ans.as_ref().expect("every job answered");
+                assert_same_answer(
+                    ans,
+                    want,
+                    &format!("clients={clients} job={i} plan={} seed={}", jobs[i].0, jobs[i].1),
+                );
+            }
+            let stats = service.stats();
+            prop_assert_eq!(stats.rejected, 0, "no contract can fail here");
+            prop_assert_eq!(stats.accepted, jobs.len() as u64);
+            // Every repeated job after its cold first run is a warm hit.
+            prop_assert!(stats.cache_hits >= (jobs.len() / 2) as u64);
+        }
+    }
+}
+
+/// A grouped query on a table too small for sampling, with no synopsis:
+/// only the point-estimate rewrite remains. Strict admission rejects it
+/// with the honest ceiling; nothing executes.
+#[test]
+fn strict_contract_rejects_point_estimate_only() {
+    let c = Catalog::new();
+    // 2 blocks < the online sampler's 4-block minimum.
+    c.register(skewed_table("t", 400, 4, 1.0, 256, 3)).unwrap();
+    let service = AqpService::with_config(
+        &c,
+        Default::default(),
+        ServiceConfig {
+            strict_contracts: true,
+            ..ServiceConfig::default()
+        },
+    );
+    let reply = service
+        .submit(&grouped_sum("t", 0.9), &Contract::new(0.1, 0.9), 7)
+        .unwrap();
+    match reply.rejection() {
+        Some(Rejection::ContractUnattainable { best }) => {
+            assert_eq!(*best, GuaranteeClass::PointEstimate);
+        }
+        other => panic!("expected ContractUnattainable, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.accepted + stats.degraded, 0);
+}
+
+/// The same query under the default (lenient) policy runs, with the
+/// downgrade recorded in the answer's admission report and rendered by
+/// `explain_analyze()`.
+#[test]
+fn lenient_contract_degrades_and_answers() {
+    let c = Catalog::new();
+    c.register(skewed_table("t", 400, 4, 1.0, 256, 3)).unwrap();
+    let service = AqpService::new(&c);
+    let reply = service
+        .submit(&grouped_sum("t", 0.9), &Contract::new(0.1, 0.9), 7)
+        .unwrap();
+    let ans = reply.answered().expect("lenient admission answers");
+    let admission = ans
+        .report
+        .admission
+        .as_ref()
+        .expect("service answers carry admission");
+    match &admission.decision {
+        AdmissionDecision::Degraded { granted, .. } => {
+            assert_eq!(*granted, GuaranteeClass::PointEstimate);
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    assert_eq!(admission.cache, CacheEvent::Miss);
+    let rendered = ans.report.explain_analyze();
+    assert!(rendered.contains("admission: degraded"), "{rendered}");
+    assert!(rendered.contains("cache=miss"), "{rendered}");
+    assert_eq!(service.stats().degraded, 1);
+}
+
+/// Cache lifecycle: miss on first sight, hit on the second, stale after
+/// synopsis maintenance bumps the routing epoch, stale again after the
+/// fact table itself is swapped for a bigger one.
+#[test]
+fn plan_cache_hits_then_invalidates() {
+    let c = Catalog::new();
+    c.register(skewed_table("t", 30_000, 10, 1.0, 128, 11))
+        .unwrap();
+    let service = AqpService::new(&c);
+    let plan = grouped_sum("t", 0.8);
+    let spec = ErrorSpec::new(0.15, 0.9);
+    let cache_of = |ans: &aqp_core::ApproximateAnswer| {
+        ans.report
+            .admission
+            .as_ref()
+            .expect("admission attached")
+            .cache
+    };
+
+    let first = service.answer(&plan, &spec, 1).unwrap();
+    assert_eq!(cache_of(&first), CacheEvent::Miss);
+    let second = service.answer(&plan, &spec, 2).unwrap();
+    assert_eq!(cache_of(&second), CacheEvent::Hit);
+
+    // Maintenance bumps the routing epoch even when no synopsis needed
+    // rebuilding: cached probe verdicts may rest on anything it touched.
+    service.session().maintain_synopses("t", 99).unwrap();
+    let third = service.answer(&plan, &spec, 3).unwrap();
+    assert_eq!(cache_of(&third), CacheEvent::Stale);
+    let fourth = service.answer(&plan, &spec, 4).unwrap();
+    assert_eq!(cache_of(&fourth), CacheEvent::Hit);
+
+    // A row-count change invalidates without any epoch bump.
+    c.replace(skewed_table("t", 45_000, 10, 1.0, 128, 12));
+    let fifth = service.answer(&plan, &spec, 5).unwrap();
+    assert_eq!(cache_of(&fifth), CacheEvent::Stale);
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_stale, 2);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+/// A warm hit with a cached pilot plan replays the online sampler without
+/// re-running the pilot: identical groups, strictly fewer rows charged.
+#[test]
+fn warm_hit_replays_pilot_plan() {
+    let c = Catalog::new();
+    c.register(skewed_table("t", 30_000, 10, 1.0, 128, 11))
+        .unwrap();
+    let service = AqpService::new(&c);
+    let plan = grouped_sum("t", 0.8);
+    // Loose spec so pilot-planned sampling wins the route.
+    let spec = ErrorSpec::new(0.4, 0.9);
+    let cold = service.answer(&plan, &spec, 42).unwrap();
+    let winner = cold.report.routing.as_ref().unwrap().winner;
+    assert_eq!(
+        winner,
+        TechniqueKind::OnlineSampling,
+        "setup: sampler must win"
+    );
+    let warm = service.answer(&plan, &spec, 42).unwrap();
+    assert_same_answer(&warm, &cold, "pilot replay");
+    assert!(
+        warm.report.rows_scanned < cold.report.rows_scanned,
+        "cached pilot plan must skip the pilot scan ({} !< {})",
+        warm.report.rows_scanned,
+        cold.report.rows_scanned
+    );
+}
+
+/// With one execution slot and a zero-length queue, a query arriving while
+/// another runs is rejected immediately — bounded degradation, not an
+/// unbounded queue.
+#[test]
+fn bounded_queue_rejects_under_load() {
+    let c = Catalog::new();
+    // ~1M groups make the exact aggregate slow enough to hold the slot.
+    c.register(uniform_table("big", 1_000_000, 4096, 7))
+        .unwrap();
+    let heavy = Query::scan("big")
+        .aggregate(
+            vec![(col("id"), "id".to_string())],
+            vec![AggExpr::sum(col("v"), "s")],
+        )
+        .build();
+    let service = AqpService::with_config(
+        &c,
+        Default::default(),
+        ServiceConfig {
+            max_inflight: 1,
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let spec = ErrorSpec::new(0.05, 0.95);
+    std::thread::scope(|scope| {
+        let svc = &service;
+        let plan = &heavy;
+        scope.spawn(move || {
+            let reply = svc.submit(plan, &Contract::new(0.05, 0.95), 1).unwrap();
+            assert!(reply.rejection().is_none(), "slot holder must complete");
+        });
+        // Wait until the heavy query owns the slot, then collide with it.
+        let mut spins = 0;
+        while svc.stats().inflight == 0 {
+            std::thread::sleep(Duration::from_micros(200));
+            spins += 1;
+            assert!(spins < 25_000, "heavy query never started");
+        }
+        match svc.submit(
+            plan,
+            &Contract::new(spec.relative_error, spec.confidence),
+            2,
+        ) {
+            Ok(reply) => match reply.rejection() {
+                Some(Rejection::QueueFull { capacity: 0, .. }) => {}
+                other => panic!("expected QueueFull, got {other:?}"),
+            },
+            Err(e) => panic!("submit errored: {e}"),
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.accepted, 1);
+}
+
+/// Once a completed run has seeded the cache's wall-clock EWMA, a deadline
+/// below that estimate is rejected before any work happens.
+#[test]
+fn deadline_below_estimate_rejected_upfront() {
+    let c = Catalog::new();
+    c.register(skewed_table("t", 30_000, 10, 1.0, 128, 11))
+        .unwrap();
+    let service = AqpService::new(&c);
+    let plan = grouped_sum("t", 0.8);
+    let spec = ErrorSpec::new(0.15, 0.9);
+    // Warm the estimate.
+    service.answer(&plan, &spec, 1).unwrap();
+    let contract = Contract::new(0.15, 0.9).with_deadline(Duration::from_nanos(1));
+    let reply = service.submit(&plan, &contract, 2).unwrap();
+    match reply.rejection() {
+        Some(Rejection::DeadlineUnmeetable { deadline, estimate }) => {
+            assert_eq!(*deadline, Duration::from_nanos(1));
+            assert!(*estimate > *deadline);
+        }
+        other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+    }
+    // A generous deadline sails through.
+    let relaxed = Contract::new(0.15, 0.9).with_deadline(Duration::from_secs(60));
+    let reply = service.submit(&plan, &relaxed, 3).unwrap();
+    assert!(reply.rejection().is_none());
+}
