@@ -404,12 +404,28 @@ fn write_lint_report(catalog: &Catalog) {
             analysis.best_attainable()
         ));
     }
+    // The conformance source scan rides along: one full-workspace pass of
+    // the C001-C007 linter (tokenize + rules over every crates/*/src file)
+    // must stay under a 2 s wall budget so check.sh stays fast.
+    let scan_cfg =
+        aqp_conformance::ScanConfig::workspace(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let report = aqp_conformance::scan_workspace(&scan_cfg).expect("conformance scan");
+    let (_, scan_us) = median_us(9, || {
+        aqp_conformance::scan_workspace(&scan_cfg).expect("conformance scan")
+    });
+    let scan_ms = scan_us / 1e3;
     let json = format!(
         "{{\n  \"bench\": \"lint\",\n  \
          \"acceptance\": \"full static analysis under 10 us/plan\",\n  \
          \"worst_median_us\": {worst_us:.2},\n  \"within_budget\": {},\n  \
+         \"conformance_scan\": {{\"scan_median_ms\": {scan_ms:.2}, \"files\": {}, \
+         \"diagnostics\": {}, \"errors\": {}, \"budget_ms\": 2000, \"within_budget\": {}}},\n  \
          \"shapes\": [\n{}\n  ]\n}}\n",
         worst_us < 10.0,
+        report.files,
+        report.diagnostics.len(),
+        report.errors(),
+        scan_ms < 2000.0,
         shapes.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");

@@ -37,7 +37,10 @@ const REQUIRED_FIELDS: &[(&str, &[&str])] = &[
         ],
     ),
     ("BENCH_router.json", &["bench", "shapes", "probe_median_us"]),
-    ("BENCH_lint.json", &["bench", "shapes", "lint_median_us"]),
+    (
+        "BENCH_lint.json",
+        &["bench", "shapes", "lint_median_us", "conformance_scan"],
+    ),
     (
         "BENCH_obs.json",
         &["bench", "off_median_us", "on_median_us", "spans_per_query"],

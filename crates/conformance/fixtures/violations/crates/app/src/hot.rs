@@ -1,0 +1,22 @@
+//! Golden fixture: seeds exactly one C002 and one C007 violation in a
+//! panic-budgeted file with a declared lock order.
+
+// lock-order: queue < results
+
+pub fn drain(queue: &Mutex<Vec<u8>>, results: &Mutex<Vec<u8>>) -> u8 {
+    let r = results.lock();
+    // C007: `queue` (rank 0) acquired while the `results` guard (rank 1)
+    // is live — against the declared order.
+    let q = queue.lock();
+    // C002: `.unwrap()` in non-test code of a budgeted file.
+    let first = *q.first().unwrap();
+    drop(r);
+    first
+}
+
+pub fn ordered(queue: &Mutex<Vec<u8>>, results: &Mutex<Vec<u8>>) {
+    // Correctly ordered: no finding.
+    let q = queue.lock();
+    let mut r = results.lock();
+    r.extend(q.iter().copied());
+}

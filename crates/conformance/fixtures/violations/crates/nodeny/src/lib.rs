@@ -1,0 +1,12 @@
+//! Golden fixture: this crate root is missing `#![deny(unsafe_code)]`
+//! (C003) and carries an unpaired unsafe block (C004).
+
+pub fn peek(p: *const u8) -> u8 {
+    // C004: no safety justification on the line above the block.
+    unsafe { *p }
+}
+
+pub fn peek_justified(p: *const u8) -> u8 {
+    // SAFETY: fixture caller guarantees `p` is valid — paired, no finding.
+    unsafe { *p }
+}

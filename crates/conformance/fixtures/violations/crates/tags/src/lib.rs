@@ -1,0 +1,18 @@
+#![deny(unsafe_code)]
+//! Golden fixture: the codec tag registry carries one orphan constant
+//! (C006), and `state.rs` implements `Partial` without registering a
+//! tag (a second C006).
+
+mod state;
+
+/// Wire tags for every mergeable state.
+pub mod tag {
+    /// Referenced below — no finding.
+    pub const USED: u8 = 0x01;
+    /// C006: declared but never referenced by any codec or impl.
+    pub const ORPHAN: u8 = 0x7f;
+}
+
+pub fn encode_kind() -> u8 {
+    tag::USED
+}

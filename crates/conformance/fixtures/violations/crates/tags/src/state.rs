@@ -1,0 +1,12 @@
+//! Golden fixture: a `Partial` impl with no codec tag reference — this
+//! state could never cross a shard boundary (C006).
+
+pub struct Blob {
+    pub total: u64,
+}
+
+impl Partial for Blob {
+    fn merge(&mut self, other: Self) {
+        self.total += other.total;
+    }
+}

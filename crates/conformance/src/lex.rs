@@ -1,0 +1,495 @@
+//! A small, never-panicking Rust tokenizer.
+//!
+//! This is not a full lexer — it is exactly the subset the conformance
+//! rules need: identifiers, string/char literals (so rule matching never
+//! fires inside them), comments (captured, because SAFETY pairing and
+//! lock-order declarations live in comments), numbers, and single-byte
+//! punctuation. It scans raw bytes with a UTF-8-boundary-safe policy
+//! (bytes ≥ 0x80 are identifier material, so multi-byte characters never
+//! split a token) and is fuzzed by proptest to never panic on arbitrary
+//! input.
+
+/// What a token is. Coarse on purpose: rules match on identifiers,
+/// literals and punctuation shape, never on full grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character literal `'x'`.
+    Char,
+    /// Lifetime `'a`.
+    Lifetime,
+    /// Numeric literal (scanned loosely: `0xff_u32`, `1.5e-3`).
+    Num,
+    /// One byte of punctuation/operator.
+    Punct(u8),
+}
+
+/// One token: kind plus its byte range and 1-based line in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Coarse kind.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, or `""` if the range is somehow not sliceable
+    /// (defensive: the lexer only produces boundary-safe ranges).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// True if this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// One comment's content (without the `//` / `/*` fences) and location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comment {
+    /// Byte range of the comment *content*.
+    pub start: usize,
+    /// One past the content's last byte.
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+impl Comment {
+    /// The comment text, `""` on a non-sliceable range.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Tokenizer output: code tokens and comments, both in source order.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens (comments and whitespace stripped).
+    pub tokens: Vec<Token>,
+    /// Comments, for SAFETY pairing and lock-order declarations.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Tokenize `src`. Total: consumes every byte, never panics.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                let start_line = line;
+                let mut j = i + 2;
+                // `///` and `//!` doc markers are part of the fence.
+                while j < n && (b[j] == b'/' || b[j] == b'!') {
+                    j += 1;
+                }
+                let content = j;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    start: content,
+                    end: j,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start_line = line;
+                let content = i + 2;
+                let mut j = i + 2;
+                let mut depth = 1u32;
+                while j < n && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(content);
+                out.comments.push(Comment {
+                    start: content,
+                    end,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let (end, nl) = scan_string(b, i + 1);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                start: i,
+                end,
+                line,
+            });
+            line += nl;
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char: scan to the closing quote.
+                let mut j = i + 2;
+                while j < n && b[j] != b'\'' && b[j] != b'\n' {
+                    if b[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let end = (j + 1).min(n);
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    start: i,
+                    end,
+                    line,
+                });
+                i = end;
+                continue;
+            }
+            // 'x' is a char only if a closing quote follows one "char"
+            // (which may be multi-byte); otherwise it is a lifetime.
+            let mut j = i + 1;
+            if j < n && b[j] >= 0x80 {
+                while j < n && b[j] >= 0x80 {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && b[j] == b'\'' {
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    start: i,
+                    end: j + 1,
+                    line,
+                });
+                i = j + 1;
+            } else {
+                let mut k = i + 1;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    start: i,
+                    end: k.max(i + 1),
+                    line,
+                });
+                i = k.max(i + 1);
+            }
+            continue;
+        }
+        // Identifier — including string-prefix forms r"", b"", br#""#,
+        // c"", and raw identifiers r#ident.
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word = src.get(start..j).unwrap_or("");
+            let prefix = matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr");
+            if prefix && j < n && b[j] == b'"' {
+                let (end, nl) = scan_string(b, j + 1);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    start,
+                    end,
+                    line,
+                });
+                line += nl;
+                i = end;
+                continue;
+            }
+            if prefix && j < n && b[j] == b'#' {
+                let mut h = j;
+                while h < n && b[h] == b'#' {
+                    h += 1;
+                }
+                if h < n && b[h] == b'"' {
+                    let hashes = h - j;
+                    let (end, nl) = scan_raw_string(b, h + 1, hashes);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        start,
+                        end,
+                        line,
+                    });
+                    line += nl;
+                    i = end;
+                    continue;
+                }
+                if word == "r" && h == j + 1 && h < n && is_ident_start(b[h]) {
+                    // Raw identifier r#ident.
+                    let mut k = h;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        start,
+                        end: k,
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                start,
+                end: j,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number (loose: hex, underscores, suffixes, exponents, and a
+        // fraction dot only when a digit follows, so `1..2` and
+        // `1.max(2)` keep their dots as punctuation).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n {
+                let d = b[j];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    if (d == b'e' || d == b'E')
+                        && j + 1 < n
+                        && (b[j + 1] == b'+' || b[j + 1] == b'-')
+                        && j + 2 < n
+                        && b[j + 2].is_ascii_digit()
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                } else if d == b'.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                start,
+                end: j,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Anything else: one byte of punctuation.
+        out.tokens.push(Token {
+            kind: TokKind::Punct(c),
+            start: i,
+            end: i + 1,
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scan a plain (escapable) string body starting just after the opening
+/// quote; returns (one past closing quote, newlines crossed).
+fn scan_string(b: &[u8], mut j: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut nl = 0u32;
+    while j < n {
+        match b[j] {
+            b'\\' => j = (j + 2).min(n),
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, nl)
+}
+
+/// Scan a raw string body (no escapes) until `"` followed by `hashes`
+/// `#` bytes; returns (one past the closing fence, newlines crossed).
+fn scan_raw_string(b: &[u8], mut j: usize, hashes: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut nl = 0u32;
+    while j < n {
+        if b[j] == b'\n' {
+            nl += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && b[k] == b'#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (k, nl);
+            }
+        }
+        j += 1;
+    }
+    (n, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let src = r#"fn main() { let x = foo("bar"); }"#;
+        let l = lex(src);
+        assert_eq!(idents(src), ["fn", "main", "let", "x", "foo"]);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs, ["\"bar\""]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let src = "// SAFETY: fine\nlet x = 1; /* block\nspan */ y";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text(src), " SAFETY: fine");
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[1].text(src).contains("block"));
+        assert!(idents(src).contains(&"y".to_string()));
+        // `y` after the block comment's newline is on line 3.
+        let y = l
+            .tokens
+            .iter()
+            .find(|t| t.is_ident(src, "y"))
+            .expect("y token");
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"x("let unsafe // not a comment")"#;
+        assert_eq!(idents(src), ["x"]);
+        assert!(lex(src).comments.is_empty());
+    }
+
+    #[test]
+    fn raw_and_prefixed_strings() {
+        let src = "a r\"q\" b r#\"w \" w\"# c b\"y\" d r#type e";
+        assert_eq!(idents(src), ["a", "b", "c", "d", "r#type", "e"]);
+        let n_strs = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(n_strs, 3);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'x'; fn f<'a>(v: &'a str) { g('\\n') }";
+        let l = lex(src);
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn numbers_scan_loosely_but_keep_range_dots() {
+        let src = "0xff_u32 1.5e-3 1..2 x.0";
+        let l = lex(src);
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, ["0xff_u32", "1.5e-3", "1", "2", "0"]);
+        assert!(l.tokens.iter().any(|t| t.is_punct(b'.')));
+    }
+
+    #[test]
+    fn multibyte_idents_do_not_split() {
+        let src = "let héllo = 1; // é in comment";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident(src, "héllo")));
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_everything_is_total() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b\"", "'\\"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,656 @@
+//! Bounded models of the service layer's two coordination protocols,
+//! checked exhaustively by [`crate::mloom`]:
+//!
+//! * [`SchedModel`] — the admission ticket scheduler
+//!   (`core/service.rs::Scheduler`): a bounded FIFO ticket queue plus an
+//!   inflight cap, condvar wakeups modeled as explicit woken flags.
+//!   Invariants: inflight never exceeds the cap and always equals the
+//!   number of executing threads, the queue respects its capacity and
+//!   stays ticket-ordered, admissions are granted in strict FIFO ticket
+//!   order, and no lost wakeup exists (structurally: no reachable
+//!   non-terminal state without a runnable thread).
+//! * [`CacheModel`] — plan-cache epoch invalidation
+//!   (`core/service.rs::PlanCache::prepare`): readers snapshot the
+//!   routing epoch, look up under the cache lock, compute outside it,
+//!   and insert stamped with the *pre-read* epoch; a writer bumps the
+//!   epoch. Invariant: no serve ever returns a plan computed against an
+//!   older epoch's routing state than the epoch the serve observed.
+//!
+//! Each model carries a [`SchedMutation`] / [`CacheMutation`] knob
+//! seeding one realistic bug; the test suite proves the checker catches
+//! every mutant while the faithful models pass. The `broken-scheduler`
+//! cargo feature flips the *faithful* constructor to a mutant so the
+//! whole gate can be watched failing end-to-end.
+
+use crate::mloom::Model;
+
+/// A deliberate scheduler bug to seed (`None` = faithful model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedMutation {
+    /// Faithful to `core/service.rs`.
+    #[default]
+    None,
+    /// `notify_one` instead of `notify_all`: an adversarially chosen
+    /// single waiter is woken — the classic lost-wakeup bug.
+    NotifyOne,
+    /// Admit from the back of the queue: FIFO inversion.
+    LifoGrant,
+    /// Release forgets to decrement `inflight`: accounting leak that
+    /// eventually wedges the scheduler.
+    ForgetDecrement,
+    /// A woken waiter admits itself without re-checking the condition:
+    /// the inflight cap is breached.
+    SkipRecheck,
+}
+
+/// What one model thread is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Not yet submitted this round.
+    Start,
+    /// In the admission loop; `woken=false` means parked on the condvar.
+    Waiting { ticket: u8, woken: bool },
+    /// Admitted, holding an inflight slot.
+    Executing,
+    /// Finished all rounds.
+    Done,
+}
+
+/// Bounds for the scheduler model.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedCfg {
+    /// Concurrent client threads.
+    pub threads: u8,
+    /// Admissions each thread performs.
+    pub rounds: u8,
+    /// `ServiceConfig::max_inflight` analogue.
+    pub max_inflight: u8,
+    /// Bounded queue capacity.
+    pub capacity: u8,
+    /// Seeded bug, if any.
+    pub mutation: SchedMutation,
+}
+
+impl Default for SchedCfg {
+    fn default() -> Self {
+        SchedCfg {
+            threads: 3,
+            rounds: 2,
+            max_inflight: 1,
+            capacity: 2,
+            mutation: SchedMutation::None,
+        }
+    }
+}
+
+/// Full global state of the scheduler model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchedModel {
+    threads: Vec<Phase>,
+    rounds_left: Vec<u8>,
+    queue: Vec<u8>,
+    inflight: u8,
+    next_ticket: u8,
+    /// Every admission in grant order (ticket numbers).
+    grants: Vec<u8>,
+    rejected: u8,
+    max_inflight: u8,
+    capacity: u8,
+    mutation: SchedMutation,
+}
+
+impl SchedModel {
+    /// Fresh model from bounds.
+    pub fn new(cfg: SchedCfg) -> SchedModel {
+        SchedModel {
+            threads: vec![Phase::Start; cfg.threads as usize],
+            rounds_left: vec![cfg.rounds; cfg.threads as usize],
+            queue: Vec::new(),
+            inflight: 0,
+            next_ticket: 0,
+            grants: Vec::new(),
+            rejected: 0,
+            max_inflight: cfg.max_inflight,
+            capacity: cfg.capacity,
+            mutation: cfg.mutation,
+        }
+    }
+
+    /// The model as shipped: faithful — unless the `broken-scheduler`
+    /// feature is on, which seeds the lost-wakeup mutant so the whole
+    /// gate can be observed failing.
+    pub fn faithful() -> SchedModel {
+        let cfg = SchedCfg {
+            #[cfg(feature = "broken-scheduler")]
+            mutation: SchedMutation::NotifyOne,
+            ..SchedCfg::default()
+        };
+        SchedModel::new(cfg)
+    }
+
+    /// Wake waiters after a state change, per the (possibly mutated)
+    /// notification discipline. With `NotifyOne` the single woken waiter
+    /// is chosen by the caller (adversarial branch); `choice` is ignored
+    /// for `notify_all`.
+    fn notify(&mut self, choice: Option<usize>) {
+        match self.mutation {
+            SchedMutation::NotifyOne => {
+                if let Some(c) = choice {
+                    if let Some(Phase::Waiting { woken, .. }) = self.threads.get_mut(c) {
+                        *woken = true;
+                    }
+                }
+            }
+            _ => {
+                for p in &mut self.threads {
+                    if let Phase::Waiting { woken, .. } = p {
+                        *woken = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices of parked waiters (wakeup targets for `notify_one`).
+    fn parked(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Phase::Waiting { woken: false, .. } => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Successors of thread `t` taking its next atomic step. Most steps
+    /// yield one successor; notify-one steps branch over every possible
+    /// wakeup target.
+    fn step(&self, t: usize) -> Vec<SchedModel> {
+        let mut out = Vec::new();
+        match self.threads[t] {
+            Phase::Start => {
+                // submit(): bounded-queue check, then enqueue + first
+                // condition check run atomically under the state lock.
+                let mut s = self.clone();
+                if s.queue.len() as u8 >= s.capacity {
+                    s.rejected += 1;
+                    s.rounds_left[t] -= 1;
+                    s.threads[t] = if s.rounds_left[t] == 0 {
+                        Phase::Done
+                    } else {
+                        Phase::Start
+                    };
+                    out.push(s);
+                    return out;
+                }
+                let ticket = s.next_ticket;
+                s.next_ticket += 1;
+                s.queue.push(ticket);
+                s.threads[t] = Phase::Waiting {
+                    ticket,
+                    woken: true,
+                };
+                out.push(s);
+            }
+            Phase::Waiting {
+                ticket,
+                woken: true,
+            } => {
+                // One admission-loop iteration under the lock.
+                let admit_pos = match self.mutation {
+                    SchedMutation::LifoGrant => self.queue.len().wrapping_sub(1),
+                    _ => 0,
+                };
+                let head_is_me = self.queue.get(admit_pos) == Some(&ticket);
+                let slot_free = self.inflight < self.max_inflight;
+                let admit = if self.mutation == SchedMutation::SkipRecheck {
+                    // Mutant: a woken waiter admits itself blindly.
+                    head_is_me
+                } else {
+                    head_is_me && slot_free
+                };
+                if admit {
+                    let mut s = self.clone();
+                    s.queue
+                        .remove(admit_pos.min(s.queue.len().saturating_sub(1)));
+                    s.inflight += 1;
+                    s.grants.push(ticket);
+                    s.threads[t] = Phase::Executing;
+                    // Admission notifies so the next head re-checks.
+                    if self.mutation == SchedMutation::NotifyOne {
+                        let targets = s.parked();
+                        if targets.is_empty() {
+                            out.push(s);
+                        } else {
+                            for c in targets {
+                                let mut b = s.clone();
+                                b.notify(Some(c));
+                                out.push(b);
+                            }
+                        }
+                    } else {
+                        s.notify(None);
+                        out.push(s);
+                    }
+                } else {
+                    // cv.wait(): park until notified.
+                    let mut s = self.clone();
+                    s.threads[t] = Phase::Waiting {
+                        ticket,
+                        woken: false,
+                    };
+                    out.push(s);
+                }
+            }
+            Phase::Waiting { woken: false, .. } => {} // parked: not runnable
+            Phase::Executing => {
+                // SchedGuard::drop(): release the slot, notify.
+                let mut s = self.clone();
+                if s.mutation != SchedMutation::ForgetDecrement {
+                    s.inflight = s.inflight.saturating_sub(1);
+                }
+                s.rounds_left[t] -= 1;
+                s.threads[t] = if s.rounds_left[t] == 0 {
+                    Phase::Done
+                } else {
+                    Phase::Start
+                };
+                if self.mutation == SchedMutation::NotifyOne {
+                    let targets = s.parked();
+                    if targets.is_empty() {
+                        out.push(s);
+                    } else {
+                        for c in targets {
+                            let mut b = s.clone();
+                            b.notify(Some(c));
+                            out.push(b);
+                        }
+                    }
+                } else {
+                    s.notify(None);
+                    out.push(s);
+                }
+            }
+            Phase::Done => {}
+        }
+        out
+    }
+}
+
+impl Model for SchedModel {
+    fn successors(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for t in 0..self.threads.len() {
+            out.extend(self.step(t));
+        }
+        out
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.threads.iter().all(|p| *p == Phase::Done)
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.inflight > self.max_inflight {
+            return Err(format!(
+                "inflight cap breached: {} > {}",
+                self.inflight, self.max_inflight
+            ));
+        }
+        if self.queue.len() as u8 > self.capacity {
+            return Err(format!(
+                "queue depth {} exceeds capacity {}",
+                self.queue.len(),
+                self.capacity
+            ));
+        }
+        let executing = self
+            .threads
+            .iter()
+            .filter(|p| **p == Phase::Executing)
+            .count() as u8;
+        if self.inflight != executing {
+            return Err(format!(
+                "inflight accounting drift: counter={} executing={executing}",
+                self.inflight
+            ));
+        }
+        if self.grants.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("FIFO inversion: grant order {:?}", self.grants));
+        }
+        if self.queue.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("queue not ticket-ordered: {:?}", self.queue));
+        }
+        Ok(())
+    }
+}
+
+/// A deliberate plan-cache bug to seed (`None` = faithful model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CacheMutation {
+    /// Faithful to `PlanCache::prepare`.
+    #[default]
+    None,
+    /// Insert stamps the entry with the *current* epoch instead of the
+    /// epoch read before planning — a plan computed against old routing
+    /// state gets served to new-epoch readers.
+    StampCurrentEpoch,
+    /// Lookup serves any cached entry without comparing epochs.
+    NoEpochCheck,
+}
+
+/// What one reader is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReaderPhase {
+    Start,
+    /// Missed the cache at observed epoch `.0`; about to read routing
+    /// state (outside the lock).
+    Computing(u8),
+    /// Computed a plan from routing-state version `.1`, observed epoch
+    /// `.0`; about to insert.
+    Computed(u8, u8),
+    Done,
+}
+
+/// Bounds for the plan-cache model.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheCfg {
+    /// Concurrent readers (each runs `prepare` once per round).
+    pub readers: u8,
+    /// Rounds per reader.
+    pub rounds: u8,
+    /// Epoch bumps the writer performs.
+    pub bumps: u8,
+    /// Seeded bug, if any.
+    pub mutation: CacheMutation,
+}
+
+impl Default for CacheCfg {
+    fn default() -> Self {
+        CacheCfg {
+            readers: 2,
+            rounds: 2,
+            bumps: 2,
+            mutation: CacheMutation::None,
+        }
+    }
+}
+
+/// Full global state of the plan-cache model. Routing state is modeled
+/// as a version counter bumped atomically with the epoch (exactly the
+/// `maintain_synopses` / quarantine transition in `service.rs`), so "a
+/// plan computed against epoch e's routing state" is simply "a plan
+/// carrying data version e".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheModel {
+    readers: Vec<ReaderPhase>,
+    rounds_left: Vec<u8>,
+    epoch: u8,
+    bumps_left: u8,
+    /// `Some((stamped_epoch, data_version))`.
+    cache: Option<(u8, u8)>,
+    /// Set when a serve handed out provably stale routing state.
+    stale_serve: Option<(u8, u8)>,
+    mutation: CacheMutation,
+}
+
+impl CacheModel {
+    /// Fresh model from bounds.
+    pub fn new(cfg: CacheCfg) -> CacheModel {
+        CacheModel {
+            readers: vec![ReaderPhase::Start; cfg.readers as usize],
+            rounds_left: vec![cfg.rounds; cfg.readers as usize],
+            epoch: 0,
+            bumps_left: cfg.bumps,
+            cache: None,
+            stale_serve: None,
+            mutation: cfg.mutation,
+        }
+    }
+
+    /// The model as shipped: faithful.
+    pub fn faithful() -> CacheModel {
+        CacheModel::new(CacheCfg::default())
+    }
+
+    fn finish_round(&mut self, r: usize) {
+        self.rounds_left[r] -= 1;
+        self.readers[r] = if self.rounds_left[r] == 0 {
+            ReaderPhase::Done
+        } else {
+            ReaderPhase::Start
+        };
+    }
+
+    fn step(&self, r: usize) -> Vec<CacheModel> {
+        let mut out = Vec::new();
+        match self.readers[r] {
+            ReaderPhase::Start => {
+                // prepare(): snapshot the epoch, then look up under the
+                // cache lock — one atomic step, as in the real code.
+                let observed = self.epoch;
+                let mut s = self.clone();
+                let hit = match (self.cache, self.mutation) {
+                    (Some((_, data)), CacheMutation::NoEpochCheck) => Some(data),
+                    (Some((stamp, data)), _) if stamp == observed => Some(data),
+                    _ => None,
+                };
+                if let Some(data) = hit {
+                    if data != observed {
+                        s.stale_serve = Some((observed, data));
+                    }
+                    s.finish_round(r);
+                } else {
+                    s.readers[r] = ReaderPhase::Computing(observed);
+                }
+                out.push(s);
+            }
+            ReaderPhase::Computing(observed) => {
+                // Read routing state outside the lock — the writer may
+                // bump before or after this step.
+                let mut s = self.clone();
+                s.readers[r] = ReaderPhase::Computed(observed, self.epoch);
+                out.push(s);
+            }
+            ReaderPhase::Computed(observed, data) => {
+                // Insert under the cache lock, stamped with the pre-read
+                // epoch (faithful) or the current epoch (mutant).
+                let mut s = self.clone();
+                let stamp = match self.mutation {
+                    CacheMutation::StampCurrentEpoch => self.epoch,
+                    _ => observed,
+                };
+                s.cache = Some((stamp, data));
+                s.finish_round(r);
+                out.push(s);
+            }
+            ReaderPhase::Done => {}
+        }
+        out
+    }
+}
+
+impl Model for CacheModel {
+    fn successors(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for r in 0..self.readers.len() {
+            out.extend(self.step(r));
+        }
+        if self.bumps_left > 0 {
+            // Writer: routing change + epoch bump, atomic (the real code
+            // bumps the epoch inside the routing-state mutation).
+            let mut s = self.clone();
+            s.epoch += 1;
+            s.bumps_left -= 1;
+            out.push(s);
+        }
+        out
+    }
+
+    fn is_terminal(&self) -> bool {
+        self.readers.iter().all(|p| *p == ReaderPhase::Done)
+        // A writer with bumps left is still runnable, so a state with
+        // bumps_left > 0 always has successors; terminality only needs
+        // the readers done.
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if let Some((observed, data)) = self.stale_serve {
+            return Err(format!(
+                "stale serve after epoch bump: reader at epoch {observed} was handed a \
+                 plan computed against routing-state version {data}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mloom::explore;
+
+    const CAP: usize = 1_000_000;
+
+    #[test]
+    fn faithful_scheduler_has_no_violations() {
+        // Under --features broken-scheduler this test fails — that is
+        // the point: the gate visibly catches the seeded bug.
+        let r = explore(SchedModel::faithful(), CAP);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(!r.truncated);
+        assert!(r.terminal_states > 0);
+    }
+
+    #[test]
+    fn scheduler_space_exceeds_one_thousand_states() {
+        let r = explore(SchedModel::new(SchedCfg::default()), CAP);
+        assert!(
+            r.states > 1000,
+            "bounded space unexpectedly small: {} states",
+            r.states
+        );
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn notify_one_mutant_loses_a_wakeup() {
+        let r = explore(
+            SchedModel::new(SchedCfg {
+                mutation: SchedMutation::NotifyOne,
+                ..SchedCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("deadlock")),
+            "expected a lost-wakeup deadlock, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn lifo_mutant_inverts_fifo() {
+        let r = explore(
+            SchedModel::new(SchedCfg {
+                mutation: SchedMutation::LifoGrant,
+                ..SchedCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("FIFO inversion")),
+            "expected a FIFO inversion, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn forget_decrement_mutant_breaks_accounting() {
+        let r = explore(
+            SchedModel::new(SchedCfg {
+                mutation: SchedMutation::ForgetDecrement,
+                ..SchedCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("accounting") || v.contains("deadlock")),
+            "expected accounting drift, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn skip_recheck_mutant_breaches_the_cap() {
+        let r = explore(
+            SchedModel::new(SchedCfg {
+                mutation: SchedMutation::SkipRecheck,
+                ..SchedCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("inflight cap")),
+            "expected an inflight-cap breach, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn faithful_cache_never_serves_stale() {
+        let r = explore(CacheModel::faithful(), CAP);
+        assert!(r.ok(), "violations: {:?}", r.violations);
+        assert!(!r.truncated);
+        assert!(r.terminal_states > 0);
+    }
+
+    #[test]
+    fn stamp_current_epoch_mutant_serves_stale() {
+        let r = explore(
+            CacheModel::new(CacheCfg {
+                mutation: CacheMutation::StampCurrentEpoch,
+                ..CacheCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("stale serve")),
+            "expected a stale serve, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn no_epoch_check_mutant_serves_stale() {
+        let r = explore(
+            CacheModel::new(CacheCfg {
+                mutation: CacheMutation::NoEpochCheck,
+                ..CacheCfg::default()
+            }),
+            CAP,
+        );
+        assert!(
+            r.violations.iter().any(|v| v.contains("stale serve")),
+            "expected a stale serve, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn rejection_path_is_reachable() {
+        // With capacity 1 and 3 threads the bounded queue must reject in
+        // some interleaving; the model's reject path mirrors submit().
+        let r = explore(
+            SchedModel::new(SchedCfg {
+                capacity: 1,
+                ..SchedCfg::default()
+            }),
+            CAP,
+        );
+        assert!(r.ok(), "violations: {:?}", r.violations);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the tokenizer: totality on arbitrary bytes, and
+//! the two skipping guarantees the rules rely on — comment contents and
+//! string contents never become code tokens.
+
+use aqp_conformance::lex::{lex, TokKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer is total: no panic on any byte soup.
+    #[test]
+    fn lexer_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = lex(&s);
+    }
+
+    /// Everything after `//` on a line is comment, never tokens.
+    #[test]
+    fn comment_contents_produce_no_tokens(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let inner: String = String::from_utf8_lossy(&bytes)
+            .chars()
+            .filter(|c| *c != '\n' && *c != '\r')
+            .collect();
+        let src = format!("// {inner}");
+        let l = lex(&src);
+        prop_assert!(l.tokens.is_empty(), "tokens leaked from a comment: {:?}", l.tokens);
+        prop_assert_eq!(l.comments.len(), 1);
+    }
+
+    /// A string literal is one `Str` token regardless of its contents;
+    /// nothing inside it (keywords, comment markers) tokenizes.
+    #[test]
+    fn string_contents_are_one_token(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let inner: String = String::from_utf8_lossy(&bytes)
+            .chars()
+            .filter(|c| *c != '"' && *c != '\\')
+            .collect();
+        let src = format!("let s = \"{inner}\";");
+        let l = lex(&src);
+        let strs = l.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        prop_assert_eq!(strs, 1, "src: {:?} tokens: {:?}", src, l.tokens);
+        let idents: Vec<&str> = l.tokens.iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s"]);
+        prop_assert!(l.comments.is_empty());
+    }
+
+    /// Raw strings likewise: contents (including quotes) stay inside.
+    #[test]
+    fn raw_string_contents_are_one_token(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let inner: String = String::from_utf8_lossy(&bytes)
+            .chars()
+            .filter(|c| *c != '#')
+            .collect();
+        let src = format!("let s = r#\"{inner}\"#;");
+        let l = lex(&src);
+        let strs = l.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        prop_assert_eq!(strs, 1, "src: {:?} tokens: {:?}", src, l.tokens);
+    }
+}

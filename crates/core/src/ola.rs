@@ -254,7 +254,7 @@ impl Technique for OlaTechnique<'_> {
         let mut obs_span = aqp_obs::span("ola:progress");
         let ci_hist = obs_span.is_recording().then(|| {
             aqp_obs::metrics::global().histogram(
-                "aqp_ola_ci_rel_half_width",
+                aqp_obs::names::OLA_CI_REL_HALF_WIDTH,
                 aqp_obs::metrics::REL_ERROR_BOUNDS,
             )
         });

@@ -334,6 +334,11 @@ struct Scheduler {
     queue_capacity: usize,
 }
 
+// lock-order: state(via lock_state) < inner
+// The scheduler's `state` Mutex and the plan cache's `inner` Mutex are
+// never held together today; the declared order makes that a checked
+// invariant (conformance C007) rather than a happy accident.
+
 /// Lock the scheduler state, recovering from poisoning.
 fn lock_state(sched: &Scheduler) -> std::sync::MutexGuard<'_, SchedState> {
     sched.state.lock().unwrap_or_else(|e| e.into_inner())

@@ -196,6 +196,10 @@ where
     }
     let n = items.len();
     let workers = threads.min(n);
+    // lock-order: queue < results < total < busy_total
+    // Workers drain `queue` with transient guards, publish under
+    // `results`, then fold stats under `total` — which stays held across
+    // the `busy_total` update, the only nested acquisition here.
     let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
     let total: Mutex<ExecStats> = Mutex::new(ExecStats::default());
@@ -210,7 +214,7 @@ where
     });
     let busy_total: Mutex<Duration> = Mutex::new(Duration::ZERO);
     let scope_start = obs_on.then(Instant::now);
-    crossbeam::thread::scope(|scope| {
+    let scoped = crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local: Vec<(usize, T)> = Vec::new();
@@ -237,8 +241,12 @@ where
                 }
             });
         }
-    })
-    .expect("morsel worker panicked");
+    });
+    if let Err(payload) = scoped {
+        // A worker panicked: re-raise the original payload on the calling
+        // thread rather than wrapping it in a second panic.
+        std::panic::resume_unwind(payload);
+    }
     if let Some(t0) = scope_start {
         let wall = t0.elapsed().as_secs_f64();
         let m = aqp_obs::metrics::global();

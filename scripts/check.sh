@@ -19,40 +19,13 @@ cargo clippy --workspace --all-targets -- \
   -D clippy::unnecessary_cast \
   -D clippy::redundant_clone
 
-# Unsafe audit: every crate must carry `#![deny(unsafe_code)]`, and any
-# future `#[allow]`-ed unsafe block must carry a `// SAFETY:` comment on
-# the preceding line.
-for lib in crates/*/src/lib.rs; do
-  if ! grep -q '#!\[deny(unsafe_code)\]' "$lib"; then
-    echo "check.sh: $lib is missing #![deny(unsafe_code)]" >&2
-    exit 1
-  fi
-done
-unsound=$(grep -rn --include='*.rs' 'unsafe \(fn\|impl\|{\)' crates/*/src \
-  | grep -v '^\s*//' \
-  | while IFS=: read -r file line _; do
-      prev=$(sed -n "$((line - 1))p" "$file")
-      case "$prev" in
-        *"// SAFETY:"*) ;;
-        *) echo "$file:$line" ;;
-      esac
-    done) || true
-if [ -n "$unsound" ]; then
-  echo "check.sh: unsafe without a '// SAFETY:' comment on the line above:" >&2
-  echo "$unsound" >&2
-  exit 1
-fi
-
-# Unwrap budget: the router and executor hot paths were un-unwrapped;
-# bare `.unwrap()`/`.expect(` must not creep back into their non-test
-# code (the count is the lines above `#[cfg(test)]`).
-for hot in crates/core/src/session.rs crates/engine/src/exec.rs; do
-  count=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{n++} END{print n+0}' "$hot")
-  if [ "$count" -gt 0 ]; then
-    echo "check.sh: $hot has $count .unwrap()/.expect( in non-test code (budget: 0)" >&2
-    exit 1
-  fi
-done
+# Conformance gate: the typed source linter (C001-C007 — metric names
+# from aqp_obs::names, unwrap budget, deny(unsafe_code) presence, SAFETY
+# pairing, span pairing, codec tag registry, declared lock orders) plus
+# the exhaustive mini-loom race check of the admission scheduler and
+# plan-cache epoch models. One line per gate; non-zero exit on any
+# Error-severity C-code or model violation.
+cargo run -q --release -p aqp-conformance -- --workspace --race
 
 # Rustdoc gate: the API docs must build clean (broken intra-doc links
 # and malformed doc comments are warnings, and warnings are denied).

@@ -65,6 +65,7 @@ fn architecture_doc_names_every_crate() {
         "aqp-workload",
         "aqp-obs",
         "aqp-analyze",
+        "aqp-conformance",
         "aqp-core",
         "aqp-bench",
     ] {
@@ -82,4 +83,41 @@ fn readme_links_the_docs() {
     for link in ["docs/ARCHITECTURE.md", "docs/OPERATIONS.md"] {
         assert!(readme.contains(link), "README.md does not link {link}");
     }
+}
+
+/// The C-code table in OPERATIONS.md names every conformance code with
+/// its exact title. A new code added to `aqp_conformance::Code` without
+/// a documented row fails here by name.
+#[test]
+fn operations_doc_covers_every_conformance_code() {
+    let doc = read("docs/OPERATIONS.md");
+    for code in aqp_conformance::Code::all() {
+        assert!(
+            doc.contains(code.code()),
+            "docs/OPERATIONS.md is missing conformance code `{}`",
+            code.code()
+        );
+        assert!(
+            doc.contains(code.title()),
+            "docs/OPERATIONS.md row for {} does not carry its title `{}`",
+            code.code(),
+            code.title()
+        );
+    }
+}
+
+/// The README's gate description and crate map both name the
+/// conformance crate, so a reader learns the source linter exists
+/// before check.sh fails on them.
+#[test]
+fn readme_names_the_conformance_gate() {
+    let readme = read("README.md");
+    assert!(
+        readme.contains("aqp-conformance"),
+        "README.md never mentions aqp-conformance"
+    );
+    assert!(
+        readme.contains("C001"),
+        "README.md gate description does not mention the C-codes"
+    );
 }
